@@ -1,0 +1,45 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+history length, seasonality, pre-warm interval, and the logical-pause
+duration (l -> 0 approximates reclaim-immediately).
+"""
+
+from repro.experiments.ablation import (
+    run_history_length_ablation,
+    run_logical_pause_ablation,
+    run_prewarm_ablation,
+    run_seasonality_ablation,
+)
+from repro.experiments.common import BENCH_SCALE
+
+
+def bench_ablation_history_length(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_history_length_ablation, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("ablation_history_length", result.table())
+    qos = [r["qos_percent"] for r in result.rows()]
+    # Section 9.2: relatively independent of h.
+    assert max(qos) - min(qos) < 20
+
+
+def bench_ablation_seasonality(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_seasonality_ablation, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("ablation_seasonality", result.table())
+
+
+def bench_ablation_prewarm(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_prewarm_ablation, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("ablation_prewarm", result.table())
+
+
+def bench_ablation_logical_pause(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_logical_pause_ablation, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("ablation_logical_pause", result.table())
+    rows = result.rows()
+    assert rows[0]["qos_percent"] < rows[-2]["qos_percent"]

@@ -1,0 +1,110 @@
+"""Benches for the future-work extensions (Section 11): multi-level
+auto-scale and prediction-aligned maintenance."""
+
+from repro.analysis import format_table
+from repro.autoscale import (
+    ProactiveScaler,
+    ReactiveScaler,
+    capacity_from_activity,
+    evaluate_scaler,
+)
+from repro.config import ProRPConfig
+from repro.experiments.common import BENCH_SCALE, region_fleet
+from repro.maintenance import (
+    MaintenanceKind,
+    MaintenanceOperation,
+    NaiveScheduler,
+    PredictiveScheduler,
+    evaluate_schedule,
+)
+from repro.maintenance.scheduler import build_histories
+from repro.types import SECONDS_PER_DAY as DAY
+from repro.workload.regions import RegionPreset
+
+
+def _autoscale_fleet_comparison():
+    traces = region_fleet(RegionPreset.EU1, BENCH_SCALE)[:120]
+    window = (BENCH_SCALE.eval_start, BENCH_SCALE.eval_end)
+    scalers = (
+        ReactiveScaler(reaction_slots=1, cooldown_slots=6),
+        ProactiveScaler(history_days=14, quantile=0.8),
+    )
+    totals = {}
+    for scaler in scalers:
+        throttled = overprovisioned = demanded = allocated = 0
+        for trace in traces:
+            capacity = capacity_from_activity(
+                trace, span_end=BENCH_SCALE.span_days * DAY, seed=1
+            )
+            ev = evaluate_scaler(scaler, capacity, *window)
+            throttled += ev.throttled_core_s
+            overprovisioned += ev.overprovisioned_core_s
+            demanded += ev.demanded_core_s
+            allocated += ev.allocated_core_s
+        totals[scaler.name] = (throttled, overprovisioned, demanded, allocated)
+    return totals
+
+
+def bench_autoscale_extension(benchmark, record_table):
+    totals = benchmark.pedantic(_autoscale_fleet_comparison, rounds=1, iterations=1)
+    rows = []
+    for name, (throttled, over, demanded, allocated) in totals.items():
+        rows.append(
+            [
+                name,
+                round(100 * throttled / demanded, 2) if demanded else 0,
+                round(100 * over / allocated, 2) if allocated else 0,
+            ]
+        )
+    table = format_table(
+        ["scaler", "throttled % of demand", "over-provisioned % of alloc"],
+        rows,
+        title="Extension (Section 11(1)): multi-level auto-scale, 120 databases",
+    )
+    record_table("extension_autoscale", table)
+    assert totals["proactive"][0] < totals["reactive"][0]
+
+
+def _maintenance_comparison():
+    traces = {
+        t.database_id: t for t in region_fleet(RegionPreset.EU1, BENCH_SCALE)[:150]
+    }
+    as_of = BENCH_SCALE.eval_start
+    operations = [
+        MaintenanceOperation.with_default_duration(
+            db_id, MaintenanceKind.BACKUP, as_of, as_of + DAY
+        )
+        for db_id in traces
+    ]
+    histories = build_histories(list(traces.values()), as_of, history_days=28)
+    naive = evaluate_schedule(
+        [NaiveScheduler().schedule(op) for op in operations], traces, "naive"
+    )
+    predictive_scheduler = PredictiveScheduler(histories, ProRPConfig())
+    predictive = evaluate_schedule(
+        [predictive_scheduler.schedule(op) for op in operations],
+        traces,
+        "predictive",
+    )
+    return naive, predictive
+
+
+def bench_maintenance_extension(benchmark, record_table):
+    naive, predictive = benchmark.pedantic(
+        _maintenance_comparison, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scheduler", "ops", "% while online", "extra resumes"],
+        [
+            [naive.scheduler, naive.total, round(naive.online_percent, 1), naive.extra_resumes],
+            [
+                predictive.scheduler,
+                predictive.total,
+                round(predictive.online_percent, 1),
+                predictive.extra_resumes,
+            ],
+        ],
+        title="Extension (Section 11(4)): prediction-aligned maintenance, 150 databases",
+    )
+    record_table("extension_maintenance", table)
+    assert predictive.online_percent > naive.online_percent

@@ -1,0 +1,18 @@
+"""Figure 3 bench: idle-time fragmentation CDFs.
+
+Paper shape: ~72% of idle intervals are within one hour (3a) while
+contributing only ~5% of the total idle duration (3b).
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig3 import run_fig3
+
+
+def bench_fig3_idle_fragmentation(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig3, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig03_idle_fragmentation", result.table())
+    # Shape assertions (absolute values recorded in EXPERIMENTS.md).
+    assert result.short_interval_count_percent > 50
+    assert result.short_interval_duration_percent < 10

@@ -1,0 +1,19 @@
+"""Figure 6 bench: reactive vs proactive KPIs across EU1/EU2/US1/US2.
+
+Paper shape: QoS rises from 60-68% to 80-90%; logical-pause idle falls
+(5-12% -> 3-7%) while small wrong (1-4%) and correct (1-5%) proactive
+idle components appear.
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig6 import run_fig6
+
+
+def bench_fig6_regions(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig6, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig06_regions", result.table())
+    for row in result.rows():
+        assert row["proactive_qos_percent"] > row["reactive_qos_percent"]
+        assert row["proactive_idle_logical"] < row["reactive_idle_percent"]

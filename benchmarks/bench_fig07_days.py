@@ -1,0 +1,16 @@
+"""Figure 7 bench: KPI validation across four consecutive evaluation days.
+
+Paper shape: the reactive/proactive gap is stable day over day.
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig7 import run_fig7
+
+
+def bench_fig7_days(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig7, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig07_days", result.table())
+    for row in result.rows():
+        assert row["proactive_qos_percent"] > row["reactive_qos_percent"]

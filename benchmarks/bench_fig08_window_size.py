@@ -1,0 +1,18 @@
+"""Figure 8 bench: window-size sweep 1-8h.
+
+Paper shape: QoS climbs (67 -> 87%) and idle time grows (3 -> 8%) with
+the window size.
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig8 import run_fig8
+
+
+def bench_fig8_window_size(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig8, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig08_window_size", result.table())
+    rows = result.rows()
+    assert rows[-1]["qos_percent"] >= rows[0]["qos_percent"]
+    assert rows[-1]["idle_percent"] >= rows[0]["idle_percent"]

@@ -1,0 +1,18 @@
+"""Figure 9 bench: confidence-threshold sweep 0.1-0.8.
+
+Paper shape: QoS falls (86 -> 50%) and idle time shrinks (6 -> 2%) as the
+threshold rises.
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig9 import run_fig9
+
+
+def bench_fig9_confidence(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig9, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig09_confidence", result.table())
+    rows = result.rows()
+    assert rows[0]["qos_percent"] >= rows[-1]["qos_percent"]
+    assert rows[0]["idle_percent"] >= rows[-1]["idle_percent"]

@@ -1,0 +1,18 @@
+"""Figure 10 bench: overhead CDFs of the online components.
+
+Paper shape: histories are KB-scale with a heavy tail (avg <= 500 tuples /
+7 KB, max > 4K tuples / <= 74 KB); prediction latency is sub-second with a
+long tail (avg <= 90 ms, max <= 700 ms).  The latency panel times the
+*reference* predictor, matching the in-engine stored procedure.
+"""
+
+from repro.experiments.fig10 import run_fig10
+
+
+def bench_fig10_overhead(benchmark, record_table):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    record_table("fig10_overhead", result.table())
+    assert result.history_kb.max() < 74
+    assert result.prediction_latency_ms.max() < 1000
+    # Heavy tail: the max is far above the mean, as in the paper.
+    assert result.tuple_counts.max() > 4 * result.tuple_counts.mean()

@@ -1,0 +1,18 @@
+"""Figure 11 bench: proactive-resume workflow frequency.
+
+Paper shape: the per-iteration pre-warm batch grows with the operation
+period (max 29 -> 406 from 1 to 15 minutes at production scale); production
+runs the operation every minute to keep batches manageable.
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig11 import run_fig11
+
+
+def bench_fig11_resume_frequency(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig11, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig11_resume_freq", result.table())
+    rows = result.rows()
+    assert rows[-1]["proactive_max"] >= rows[0]["proactive_max"]

@@ -1,0 +1,19 @@
+"""Figure 12 bench: physical-pause workflow frequency.
+
+Paper shape: pause volume per interval grows with the interval (max 31 ->
+458 at production scale) and sits slightly above the Figure 11 pre-warm
+volume because new databases pause without ever being predicted.
+"""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig12 import run_fig12
+
+
+def bench_fig12_pause_frequency(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig12, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("fig12_pause_freq", result.table())
+    rows = result.rows()
+    assert rows[-1]["proactive_max"] >= rows[0]["proactive_max"]
+    assert rows[0]["pauses_total"] >= rows[0]["prewarm_total"]

@@ -1,0 +1,57 @@
+"""Micro-benchmarks for Algorithm 4: reference vs vectorised predictor.
+
+The reference implementation issues p/s * h B-tree range queries per
+prediction (the paper's stored procedure); the vectorised implementation
+answers the same grid with two searchsorted passes.  The ablation quantifies
+the speed-up that makes fleet-scale simulation practical.
+"""
+
+import pytest
+
+from repro.config import ProRPConfig
+from repro.core.fast_predictor import FastPredictor
+from repro.core.predictor import predict_next_activity
+from repro.storage.history import HistoryStore
+from repro.types import EventType, SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+
+
+def _daily_history(days: int = 28, logins_per_day: int = 6):
+    store = HistoryStore()
+    logins = []
+    for day in range(days):
+        for k in range(logins_per_day):
+            t = day * DAY + 9 * HOUR + k * 45 * 60
+            store.insert_history(t, EventType.ACTIVITY_START)
+            logins.append(t)
+    return store, logins
+
+
+def bench_reference_predictor(benchmark):
+    """The stored-procedure implementation (Figure 10(c)'s subject)."""
+    config = ProRPConfig()
+    store, _ = _daily_history()
+    now = 28 * DAY
+    result = benchmark(predict_next_activity, store, config, now)
+    assert not result.is_empty
+
+
+def bench_fast_predictor(benchmark):
+    """The NumPy implementation used for fleet simulation."""
+    config = ProRPConfig()
+    _, logins = _daily_history()
+    predictor = FastPredictor(config)
+    now = 28 * DAY
+    result = benchmark(predictor.predict, logins, now)
+    assert not result.is_empty
+
+
+def bench_fast_predictor_large_history(benchmark):
+    """Worst-case history (Figure 10(a)'s >4K tuple tail)."""
+    config = ProRPConfig()
+    _, logins = _daily_history(logins_per_day=80)
+    predictor = FastPredictor(config)
+    result = benchmark(predictor.predict, logins, 28 * DAY)
+    assert not result.is_empty

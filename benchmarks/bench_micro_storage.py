@@ -1,0 +1,68 @@
+"""Micro-benchmarks for the storage substrate.
+
+Backs the paper's complexity analysis (Sections 5-6): inserts and point
+lookups through the clustered B-tree are O(log n); the range queries of
+Algorithms 3-4 are O(log n + m).  The benchmarks time the actual stored-
+procedure operations at the history sizes of Figure 10(a).
+"""
+
+import pytest
+
+from repro.storage.btree import BTree
+from repro.storage.history import HistoryStore
+from repro.types import EventType, SECONDS_PER_DAY
+
+DAY = SECONDS_PER_DAY
+
+
+def _filled_store(n_tuples: int) -> HistoryStore:
+    store = HistoryStore()
+    for i in range(n_tuples):
+        event_type = EventType.ACTIVITY_START if i % 2 == 0 else EventType.ACTIVITY_END
+        store.insert_history(i * 600, event_type)
+    return store
+
+
+@pytest.mark.parametrize("n", [500, 4000])
+def bench_insert_history(benchmark, n):
+    """Algorithm 2 at average (500) and worst-case (4K) history sizes."""
+    store = _filled_store(n)
+    counter = iter(range(10**9))
+
+    def insert_one():
+        store.insert_history(n * 600 + next(counter), EventType.ACTIVITY_START)
+
+    benchmark(insert_one)
+
+
+@pytest.mark.parametrize("n", [500, 4000])
+def bench_window_range_query(benchmark, n):
+    """The MIN/MAX login range query of Algorithm 4 (lines 19-24)."""
+    store = _filled_store(n)
+    lo = (n // 2) * 600
+    benchmark(store.first_last_login, lo, lo + 7 * 3600)
+
+
+def bench_delete_old_history(benchmark):
+    """Algorithm 3 trimming a 28-day window from a 60-day history."""
+
+    def setup():
+        store = HistoryStore()
+        for day in range(60):
+            for k in range(8):
+                store.insert_history(day * DAY + k * 3600, EventType.ACTIVITY_START)
+        return (store,), {}
+
+    def trim(store):
+        return store.delete_old_history(history_days=28, now=60 * DAY)
+
+    benchmark.pedantic(trim, setup=setup, rounds=20)
+
+
+@pytest.mark.parametrize("n", [1000, 100_000])
+def bench_btree_point_lookup(benchmark, n):
+    """O(log n): lookup cost grows slowly with two orders of magnitude."""
+    tree = BTree()
+    for i in range(n):
+        tree.insert(i, i)
+    benchmark(tree.get, n // 2)

@@ -1,0 +1,21 @@
+"""Prediction-accuracy bench: quantifies the paper's 'sufficient in
+practice' claim for the probabilistic forecaster, per usage archetype."""
+
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.common import BENCH_SCALE
+
+
+def bench_prediction_accuracy(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_accuracy, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    record_table("prediction_accuracy", result.table())
+    rows = {r["archetype"]: r for r in result.rows()}
+    # Recurring patterns predict well; unpredictable tails do not -- and
+    # the policy's reactive fallback covers them (the paper's design).
+    assert rows["nightly"]["precision"] > 0.8
+    assert rows["daily"]["precision"] > 0.5
+    assert rows["daily"]["recall"] > 0.5
+    assert rows["fleet"]["precision"] > 0.4
+    if "dormant" in rows:
+        assert rows["dormant"]["precision"] < rows["daily"]["precision"]

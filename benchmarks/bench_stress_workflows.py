@@ -1,0 +1,96 @@
+"""Control-plane stress test (Section 9.3).
+
+"The number of proactive resumes and physical pauses per time interval is
+doubled by the proactive policy ... Our stress tests confirmed that the
+ProRP infrastructure handles this increased workload well."
+
+This bench replays the workflow stream an actual proactive simulation
+produced -- every pre-warm, reactive resume, and physical pause with its
+real timestamp -- through the workflow engine under bounded concurrency
+and fault injection, with the diagnostics runner mitigating.  It asserts
+the queues drain promptly and no incidents escalate.
+"""
+
+from repro.analysis import format_table
+from repro.controlplane import DiagnosticsRunner, WorkflowEngine, WorkflowKind
+from repro.experiments.common import BENCH_SCALE, region_fleet
+from repro.simulation.region import simulate_region
+from repro.workload.regions import RegionPreset
+
+_KINDS = {
+    "proactive_resume": WorkflowKind.PROACTIVE_RESUME,
+    "reactive_resume": WorkflowKind.REACTIVE_RESUME,
+    "physical_pause": WorkflowKind.PHYSICAL_PAUSE,
+}
+
+
+def _collect_workflow_stream():
+    traces = region_fleet(RegionPreset.EU1, BENCH_SCALE)
+    result = simulate_region(traces, "proactive", settings=BENCH_SCALE.settings())
+    stream = []
+    for outcome in result.outcomes:
+        for t in outcome.proactive_resume_times:
+            stream.append((t, WorkflowKind.PROACTIVE_RESUME, outcome.database_id))
+        for t in outcome.reactive_resume_times:
+            stream.append((t, WorkflowKind.REACTIVE_RESUME, outcome.database_id))
+        for t in outcome.physical_pause_times:
+            stream.append((t, WorkflowKind.PHYSICAL_PAUSE, outcome.database_id))
+    stream.sort(key=lambda item: item[0])
+    return stream
+
+
+def _run_stress(stream):
+    engine = WorkflowEngine(
+        max_concurrent=50,
+        default_duration_s=45,
+        stuck_probability=0.02,
+        seed=5,
+    )
+    runner = DiagnosticsRunner(engine, stuck_after_s=120, max_retries=3)
+    if not stream:
+        return engine, runner, 0
+    clock = stream[0][0]
+    index = 0
+    idle_ticks = 0
+    while index < len(stream) or not runner.queues_drained():
+        while index < len(stream) and stream[index][0] <= clock:
+            t, kind, database_id = stream[index]
+            engine.submit(kind, database_id, now=clock)
+            index += 1
+        engine.tick(clock)
+        runner.run_once(clock)
+        clock += 30
+        idle_ticks += 1
+        assert idle_ticks < 10_000_000, "stress run diverged"
+    drain_lag = clock - stream[-1][0]
+    return engine, runner, drain_lag
+
+
+def bench_workflow_stress(benchmark, record_table):
+    stream = _collect_workflow_stream()
+    engine, runner, drain_lag = benchmark.pedantic(
+        _run_stress, args=(stream,), rounds=1, iterations=1
+    )
+    succeeded = sum(
+        1 for w in engine.workflows.values() if w.state.value == "succeeded"
+    )
+    peak_pending = max((s.pending for s in runner.samples), default=0)
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["workflows replayed", len(stream)],
+            ["succeeded", succeeded],
+            ["mitigation retries", runner.mitigations],
+            ["incidents", len(runner.incidents)],
+            ["peak pending queue", peak_pending],
+            ["drain lag after last event (s)", drain_lag],
+        ],
+        title=(
+            "Control-plane stress: replaying a proactive region's workflow "
+            "stream at 2% fault injection"
+        ),
+    )
+    record_table("stress_workflows", table)
+    assert succeeded == len(stream)
+    assert len(runner.incidents) == 0
+    assert runner.queues_drained()

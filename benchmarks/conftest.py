@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure bench runs its experiment once under pytest-benchmark (the
+timing measures the full regeneration cost) and writes the resulting table
+to ``benchmarks/results/<name>.txt`` in addition to printing it, so the
+regenerated rows survive pytest's output capture.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """record_table(name, text): persist and echo one experiment table."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _record

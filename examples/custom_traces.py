@@ -1,0 +1,52 @@
+"""Bring your own traces: import a fleet from JSONL and drill into KPIs.
+
+A downstream operator exports their telemetry as JSON Lines (one database
+per line with epoch-second sessions), replays it through the policies, and
+reads the per-archetype drill-down -- which pattern classes the predictor
+serves well and where the idle cost concentrates.
+
+Run:  python examples/custom_traces.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.archetype_report import archetype_breakdown, format_breakdown
+from repro.simulation import SimulationSettings, simulate_region
+from repro.types import SECONDS_PER_DAY as DAY
+from repro.workload import RegionPreset, generate_region_traces
+from repro.workload.io import export_traces, import_traces
+
+
+def main() -> None:
+    # Stand-in for "your telemetry": a generated fleet written to JSONL.
+    fleet = generate_region_traces(RegionPreset.US1, n_databases=150, seed=12)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "my_fleet.jsonl"
+        export_traces(fleet, path)
+        print(f"exported {len(fleet)} traces to {path.name} "
+              f"({path.stat().st_size // 1024} KiB)\n")
+
+        # ... and read back, as an operator with real data would start.
+        traces = import_traces(path)
+
+    settings = SimulationSettings(eval_start=31 * DAY, eval_end=33 * DAY)
+    result = simulate_region(traces, "proactive", settings=settings)
+    print(
+        format_breakdown(
+            archetype_breakdown(result.outcomes),
+            title="US1 proactive policy, by usage archetype",
+        )
+    )
+    kpis = result.kpis()
+    print(
+        f"\nfleet total: QoS {kpis.qos_percent:.1f}%, "
+        f"idle {kpis.idle_percent:.2f}%\n"
+        "Daily/nightly patterns ride the pre-warm; sporadic and dormant\n"
+        "databases stay reactive -- exactly the per-database variance the\n"
+        "paper's challenge (1) describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""The paper's future-work directions, implemented (Section 11).
+
+1. Proactive auto-scale in small capacity increments: a reactive scaler
+   throttles demand spikes during its reaction lag; the proactive envelope
+   scaler pre-provisions the historical per-time-of-day demand.
+2. Automated knob selection: sensitivity analysis ranks the Table 1 knobs
+   by KPI impact (confidence and window dominate, as the paper's manual
+   choice assumed).
+3. Prediction-aware tenant placement: databases predicted to resume at the
+   same minute are spread across nodes, flattening pre-warm bursts.
+4. Prediction-aligned maintenance: backups scheduled inside predicted
+   online windows stop resuming databases just for maintenance.
+
+Run:  python examples/future_work.py
+"""
+
+from repro.analysis import format_table
+from repro.autoscale import (
+    ProactiveScaler,
+    ReactiveScaler,
+    capacity_from_activity,
+    evaluate_scaler,
+)
+from repro.cluster import Cluster
+from repro.cluster.placement import PlacementAdvisor
+from repro.config import ProRPConfig
+from repro.maintenance import (
+    MaintenanceKind,
+    MaintenanceOperation,
+    NaiveScheduler,
+    PredictiveScheduler,
+    evaluate_schedule,
+)
+from repro.maintenance.scheduler import build_histories
+from repro.simulation import SimulationSettings
+from repro.training import TrainingPipeline
+from repro.training.knob_selection import rank_knobs
+from repro.types import (
+    ActivityTrace,
+    Session,
+    SECONDS_PER_DAY as DAY,
+    SECONDS_PER_HOUR as HOUR,
+    SECONDS_PER_MINUTE as MIN,
+)
+from repro.workload import RegionPreset, generate_region_traces
+
+
+def daily_traces(n):
+    return [
+        ActivityTrace(
+            f"db-{i}",
+            [Session(d * DAY + 9 * HOUR, d * DAY + 17 * HOUR) for d in range(30)],
+        )
+        for i in range(n)
+    ]
+
+
+def autoscale_demo() -> None:
+    activity = daily_traces(1)[0]
+    capacity = capacity_from_activity(activity, span_end=30 * DAY, seed=5)
+    window = (29 * DAY, 30 * DAY)
+    rows = []
+    for scaler in (
+        ReactiveScaler(reaction_slots=1, cooldown_slots=6),
+        ProactiveScaler(history_days=14, quantile=0.8),
+    ):
+        ev = evaluate_scaler(scaler, capacity, *window)
+        rows.append(
+            [
+                ev.scaler,
+                round(ev.throttled_percent, 2),
+                round(ev.overprovisioned_percent, 2),
+            ]
+        )
+    print(
+        format_table(
+            ["scaler", "throttled % of demand", "over-provisioned % of alloc"],
+            rows,
+            title="(1) Multi-level auto-scale: one bursty daily database",
+        )
+    )
+    print()
+
+
+def knob_selection_demo() -> None:
+    traces = generate_region_traces(RegionPreset.EU1, 60, span_days=31, seed=6)
+    settings = SimulationSettings(eval_start=29 * DAY, eval_end=30 * DAY)
+    impacts = rank_knobs(
+        TrainingPipeline(traces, settings),
+        ProRPConfig(),
+        {
+            "confidence": [0.1, 0.5, 0.8],
+            "window_s": [1 * HOUR, 7 * HOUR],
+            "prewarm_s": [1 * MIN, 15 * MIN],
+        },
+    )
+    rows = [
+        [impact.knob, round(impact.impact, 1), round(impact.qos_spread, 1)]
+        for impact in impacts
+    ]
+    print(
+        format_table(
+            ["knob", "objective spread", "QoS spread"],
+            rows,
+            title="(2) Automated knob selection: sensitivity ranking",
+        )
+    )
+    print()
+
+
+def placement_demo() -> None:
+    cluster = Cluster(n_nodes=4, node_capacity=32)
+    advisor = PlacementAdvisor(cluster)
+    # 12 databases all predicted to resume at 09:00 sharp.
+    for i in range(12):
+        advisor.place(f"correlated-{i}", 9 * HOUR)
+    rows = [
+        [node.node_id, advisor.peak_pressure(node.node_id)]
+        for node in cluster.nodes
+    ]
+    print(
+        format_table(
+            ["node", "peak predicted resumes / 5 min"],
+            rows,
+            title="(3) Prediction-aware placement of 12 correlated databases",
+        )
+    )
+    print()
+
+
+def maintenance_demo() -> None:
+    traces = {t.database_id: t for t in daily_traces(12)}
+    operations = [
+        MaintenanceOperation.with_default_duration(
+            db_id, MaintenanceKind.BACKUP, 28 * DAY, 29 * DAY
+        )
+        for db_id in traces
+    ]
+    histories = build_histories(list(traces.values()), as_of=28 * DAY, history_days=28)
+    rows = []
+    for name, schedule in (
+        ("naive", [NaiveScheduler().schedule(op) for op in operations]),
+        (
+            "predictive",
+            [
+                PredictiveScheduler(histories, ProRPConfig()).schedule(op)
+                for op in operations
+            ],
+        ),
+    ):
+        ev = evaluate_schedule(schedule, traces, name)
+        rows.append([name, ev.total, round(ev.online_percent, 1), ev.extra_resumes])
+    print(
+        format_table(
+            ["scheduler", "ops", "% while online", "extra resumes"],
+            rows,
+            title="(4) Maintenance inside predicted-online windows",
+        )
+    )
+
+
+def main() -> None:
+    autoscale_demo()
+    knob_selection_demo()
+    placement_demo()
+    maintenance_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Figure 2 in ASCII: one database under the three allocation policies.
+
+Replays a perfectly daily database through the reactive, proactive, and
+optimal policies with timeline collection enabled, then renders each
+policy's allocation as a compact Gantt chart -- the paper's Figure 2:
+resource demand (black area), idle allocated time (gray), and the
+unavailable gap after a reactive resume (striped).
+
+Run:  python examples/policy_timelines.py
+"""
+
+from repro.simulation import SimulationSettings, simulate_region
+from repro.types import (
+    ActivityTrace,
+    AllocationState,
+    Session,
+    SECONDS_PER_DAY as DAY,
+    SECONDS_PER_HOUR as HOUR,
+)
+
+#: One timeline character per 15 minutes.
+RESOLUTION = 15 * 60
+
+GLYPHS = {
+    AllocationState.ACTIVE: "#",       # demand served (used)
+    AllocationState.IDLE_ALLOCATED: "=",  # allocated but idle (COGS)
+    AllocationState.RESUMING: "!",     # demanded but unavailable (QoS gap)
+}
+
+
+def render(timeline, start, end) -> str:
+    cells = ["."] * ((end - start) // RESOLUTION)  # '.' = paused (saved)
+    for interval in timeline:
+        glyph = GLYPHS[interval.state]
+        lo = max(interval.start, start)
+        hi = min(interval.end, end)
+        for i in range((lo - start) // RESOLUTION, (hi - start) // RESOLUTION):
+            cells[i] = glyph
+    return "".join(cells)
+
+
+def main() -> None:
+    # 9:00-17:00 daily activity with a lunch break, 31 days.
+    sessions = []
+    for day in range(31):
+        sessions.append(Session(day * DAY + 9 * HOUR, day * DAY + 12 * HOUR))
+        sessions.append(
+            Session(day * DAY + 12 * HOUR + 30 * 60, day * DAY + 17 * HOUR)
+        )
+    trace = ActivityTrace("daily-db", sessions, created_at=0)
+
+    window = (29 * DAY, 30 * DAY)
+    settings = SimulationSettings(
+        eval_start=window[0],
+        eval_end=window[1],
+        # Exaggerated resume latency (15 min instead of ~45 s) so the
+        # reactive policy's availability gap is visible at this resolution.
+        resume_latency_s=15 * 60,
+        resume_latency_jitter_s=0,
+        collect_timelines=True,
+    )
+
+    print("One day of a 9:00-17:00 database (one char = 15 min)")
+    print("legend: # used   = idle allocated   ! unavailable   . paused\n")
+    hours_ruler = "".join(f"{h:<4}" for h in range(0, 24))
+    print(f"{'hour':>10}  {hours_ruler}")
+    for policy in ("reactive", "proactive", "optimal"):
+        result = simulate_region([trace], policy, settings=settings)
+        timeline = result.outcomes[0].timeline
+        print(f"{policy:>10}  {render(timeline, *window)}")
+
+    print(
+        "\nReactive: the 09:00 login hits reclaimed resources (!) and the\n"
+        "evening logical pause burns 7 hours of idle allocation (=).\n"
+        "Proactive: resources are pre-warmed minutes before 09:00 and\n"
+        "physically paused right after 17:00 -- close to the optimal\n"
+        "bounding box of demand."
+    )
+
+
+if __name__ == "__main__":
+    main()

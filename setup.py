@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(this offline environment lacks it); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Statistical helpers for the evaluation figures: empirical CDFs
+(Figures 3 and 10), box-plot summaries (Figures 11-12), and ASCII table
+rendering for the benchmark harness output."""
+
+from repro.analysis.stats import (
+    BoxPlotSummary,
+    EmpiricalCdf,
+    box_plot_summary,
+    percentile,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "EmpiricalCdf",
+    "BoxPlotSummary",
+    "box_plot_summary",
+    "percentile",
+    "format_table",
+]

@@ -1,0 +1,93 @@
+"""Per-archetype KPI drill-down.
+
+The paper's challenge (1) is that usage patterns vary per database; this
+report shows how each pattern class fares under a policy -- which
+archetypes the predictor serves well (daily, nightly), which stay reactive
+(sporadic, dormant), and where the idle cost concentrates.  Fleet
+generators encode the archetype in the database id
+(``<region>-<archetype>-<index>``), which the report parses; databases
+with foreign id shapes land in the ``other`` group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.simulation.results import DatabaseOutcome
+
+
+@dataclass(frozen=True)
+class ArchetypeKpis:
+    """Aggregated outcomes of one pattern class."""
+
+    archetype: str
+    databases: int
+    logins: int
+    logins_served: int
+    idle_s: int
+    unavailable_s: int
+    window_s: int
+
+    @property
+    def qos_percent(self) -> float:
+        return 100.0 * self.logins_served / self.logins if self.logins else 0.0
+
+    @property
+    def idle_percent(self) -> float:
+        total = self.databases * self.window_s
+        return 100.0 * self.idle_s / total if total else 0.0
+
+
+def archetype_of(database_id: str) -> str:
+    """``eu1-daily-00042`` -> ``daily``; unknown shapes -> ``other``."""
+    parts = database_id.split("-")
+    if len(parts) >= 3:
+        return "-".join(parts[1:-1])
+    return "other"
+
+
+def archetype_breakdown(
+    outcomes: Sequence[DatabaseOutcome],
+) -> List[ArchetypeKpis]:
+    """Group per-database outcomes by archetype, most databases first."""
+    groups: Dict[str, List[DatabaseOutcome]] = {}
+    for outcome in outcomes:
+        groups.setdefault(archetype_of(outcome.database_id), []).append(outcome)
+    report: List[ArchetypeKpis] = []
+    for name, members in groups.items():
+        window = members[0].eval_end - members[0].eval_start
+        report.append(
+            ArchetypeKpis(
+                archetype=name,
+                databases=len(members),
+                logins=sum(
+                    o.logins_with_resources + o.logins_reactive for o in members
+                ),
+                logins_served=sum(o.logins_with_resources for o in members),
+                idle_s=sum(o.idle_s for o in members),
+                unavailable_s=sum(o.unavailable_s for o in members),
+                window_s=window,
+            )
+        )
+    report.sort(key=lambda a: (-a.databases, a.archetype))
+    return report
+
+
+def format_breakdown(breakdown: Sequence[ArchetypeKpis], title: str) -> str:
+    rows = [
+        [
+            entry.archetype,
+            entry.databases,
+            entry.logins,
+            round(entry.qos_percent, 1),
+            round(entry.idle_percent, 2),
+        ]
+        for entry in breakdown
+    ]
+    return format_table(
+        ["archetype", "databases", "logins", "QoS %", "idle %"],
+        rows,
+        title=title,
+    )

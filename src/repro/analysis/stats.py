@@ -1,0 +1,107 @@
+"""Empirical CDFs, percentiles, and box-plot summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    if ordered[lo] == ordered[hi]:
+        # Skip the interpolation: a*(1-f) + a*f can round below a for
+        # subnormal values (both products underflow toward zero).
+        return float(ordered[lo])
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+class EmpiricalCdf:
+    """Empirical cumulative distribution of a sample (Figures 3 and 10)."""
+
+    def __init__(self, values: Sequence[float]):
+        self._sorted: List[float] = sorted(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._sorted)
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """F(x) = P(V <= x)."""
+        if not self._sorted:
+            return 0.0
+        import bisect
+
+        return bisect.bisect_right(self._sorted, x) / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at q in [0, 1]."""
+        return percentile(self._sorted, q * 100.0)
+
+    def mean(self) -> float:
+        if not self._sorted:
+            raise ValueError("mean of an empty CDF")
+        return sum(self._sorted) / len(self._sorted)
+
+    def max(self) -> float:
+        if not self._sorted:
+            raise ValueError("max of an empty CDF")
+        return self._sorted[-1]
+
+    def points(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        """(x, F(x)) pairs for plotting/printing."""
+        return [(x, self.fraction_at_or_below(x)) for x in xs]
+
+
+@dataclass(frozen=True)
+class BoxPlotSummary:
+    """Five-number summary used by the Figure 11/12 box plots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    def row(self, label: str) -> List[object]:
+        """A printable table row."""
+        return [
+            label,
+            self.count,
+            round(self.minimum, 1),
+            round(self.q1, 1),
+            round(self.median, 1),
+            round(self.q3, 1),
+            round(self.maximum, 1),
+            round(self.mean, 2),
+        ]
+
+
+def box_plot_summary(values: Sequence[float]) -> BoxPlotSummary:
+    """Compute the five-number summary of a sample."""
+    if not values:
+        raise ValueError("box plot of an empty sequence")
+    return BoxPlotSummary(
+        minimum=float(min(values)),
+        q1=percentile(values, 25),
+        median=percentile(values, 50),
+        q3=percentile(values, 75),
+        maximum=float(max(values)),
+        mean=sum(values) / len(values),
+        count=len(values),
+    )

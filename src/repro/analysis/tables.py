@@ -1,0 +1,38 @@
+"""Plain-text table rendering for benchmark/experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = None,
+) -> str:
+    """Render an aligned ASCII table (the benches print these so the rows
+    match the rows/series the paper reports)."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells.extend([_format_cell(value) for value in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

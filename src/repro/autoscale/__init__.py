@@ -1,0 +1,32 @@
+"""Proactive auto-scale in small increments of capacity.
+
+Future-work direction (1) of the paper: "Going forward, we plan to
+auto-scale the resources in small increments of capacity to better
+accommodate the current resource demand for each database" -- the binary
+resume/pause problem generalised to multi-level demand (vCores).
+
+* :mod:`repro.autoscale.demand` -- per-database multi-level demand traces
+  derived from activity sessions.
+* :mod:`repro.autoscale.scaler` -- a reactive scaler (tracks demand with a
+  reaction lag: throttles on spikes) and a proactive scaler (per
+  time-of-day demand envelope over the history, the Algorithm 4 idea
+  lifted from binary logins to capacity levels).
+* :mod:`repro.autoscale.kpi` -- throttled vs over-provisioned core-seconds.
+"""
+
+from repro.autoscale.demand import CapacityTrace, capacity_from_activity
+from repro.autoscale.scaler import (
+    ProactiveScaler,
+    ReactiveScaler,
+    ScalerEvaluation,
+    evaluate_scaler,
+)
+
+__all__ = [
+    "CapacityTrace",
+    "capacity_from_activity",
+    "ReactiveScaler",
+    "ProactiveScaler",
+    "evaluate_scaler",
+    "ScalerEvaluation",
+]

@@ -1,0 +1,249 @@
+"""Command-line interface for the ProRP reproduction.
+
+Three subcommands::
+
+    python -m repro simulate --region EU1 --databases 200 --policy proactive
+    python -m repro figures --which fig6 fig9 --databases 250
+    python -m repro tune --region US1 --databases 150
+
+``simulate`` prints the KPI report of one policy on one region fleet;
+``figures`` regenerates evaluation figures (tables to stdout); ``tune``
+runs the training pipeline over the window/confidence grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.config import ProRPConfig
+from repro.core.billing import billing_report
+from repro.experiments.common import ExperimentScale
+from repro.simulation.region import SimulationSettings, simulate_region
+from repro.training import ParameterGrid, TrainingPipeline
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.workload.regions import RegionPreset, generate_region_traces
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+
+#: figure name -> experiment runner factory (imported lazily).
+FIGURES = ("fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProRP reproduction: proactive resume and pause of "
+        "resources for serverless databases (SIGMOD-Companion 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one policy on one region")
+    _common_fleet_args(simulate)
+    simulate.add_argument(
+        "--policy",
+        choices=["reactive", "proactive", "optimal", "provisioned"],
+        default="proactive",
+    )
+    simulate.add_argument(
+        "--confidence", type=float, default=0.1, help="threshold c (Table 1)"
+    )
+    simulate.add_argument(
+        "--window-hours", type=float, default=7.0, help="window size w"
+    )
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    _common_fleet_args(figures)
+    figures.add_argument(
+        "--which",
+        nargs="+",
+        choices=list(FIGURES) + ["all"],
+        default=["all"],
+        help="which figures to regenerate",
+    )
+
+    tune = sub.add_parser("tune", help="run the training pipeline")
+    _common_fleet_args(tune)
+
+    digest = sub.add_parser(
+        "digest", help="full operator report: all policies + drill-downs"
+    )
+    _common_fleet_args(digest)
+    return parser
+
+
+def _common_fleet_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--region",
+        choices=[preset.value for preset in RegionPreset],
+        default="EU1",
+    )
+    parser.add_argument("--databases", type=int, default=200)
+    parser.add_argument("--eval-days", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _scale(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        n_databases=args.databases, eval_days=args.eval_days, seed=args.seed
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    scale = _scale(args)
+    traces = generate_region_traces(
+        RegionPreset(args.region), args.databases, span_days=scale.span_days,
+        seed=args.seed,
+    )
+    config = ProRPConfig(
+        confidence=args.confidence, window_s=int(args.window_hours * HOUR)
+    )
+    result = simulate_region(traces, args.policy, config, scale.settings())
+    kpis = result.kpis()
+    billing = billing_report(kpis)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["policy", kpis.policy],
+                ["databases", kpis.n_databases],
+                ["QoS % (logins served)", round(kpis.qos_percent, 2)],
+                ["idle % of fleet time", round(kpis.idle_percent, 2)],
+                ["  logical pause %", round(kpis.idle_logical_pause_percent, 2)],
+                ["  correct pre-warm %", round(kpis.idle_correct_proactive_percent, 2)],
+                ["  wrong pre-warm %", round(kpis.idle_wrong_proactive_percent, 2)],
+                ["unavailable %", round(kpis.unavailable_percent, 3)],
+                ["reactive resumes", kpis.workflows.reactive_resumes],
+                ["proactive resumes", kpis.workflows.proactive_resumes],
+                ["physical pauses", kpis.workflows.physical_pauses],
+                ["allocation efficiency", round(billing.allocation_efficiency, 3)],
+            ],
+            title=f"{args.region}: {args.databases} databases, "
+            f"{args.eval_days}-day evaluation",
+        )
+    )
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    which = list(FIGURES) if "all" in args.which else args.which
+    scale = _scale(args)
+    for name in which:
+        result = _run_figure(name, scale)
+        print(result.table())
+        print()
+    return 0
+
+
+def _run_figure(name: str, scale: ExperimentScale):
+    if name == "fig3":
+        from repro.experiments.fig3 import run_fig3
+
+        return run_fig3(scale)
+    if name == "fig6":
+        from repro.experiments.fig6 import run_fig6
+
+        return run_fig6(scale)
+    if name == "fig7":
+        from repro.experiments.fig7 import run_fig7
+
+        return run_fig7(scale)
+    if name == "fig8":
+        from repro.experiments.fig8 import run_fig8
+
+        return run_fig8(scale)
+    if name == "fig9":
+        from repro.experiments.fig9 import run_fig9
+
+        return run_fig9(scale)
+    if name == "fig10":
+        from repro.experiments.fig10 import run_fig10
+
+        return run_fig10(scale.smaller(scale.n_databases, eval_days=1))
+    if name == "fig11":
+        from repro.experiments.fig11 import run_fig11
+
+        return run_fig11(scale)
+    if name == "fig12":
+        from repro.experiments.fig12 import run_fig12
+
+        return run_fig12(scale)
+    raise ValueError(f"unknown figure {name!r}")  # pragma: no cover
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    scale = _scale(args)
+    traces = generate_region_traces(
+        RegionPreset(args.region), args.databases, span_days=scale.span_days,
+        seed=args.seed,
+    )
+    pipeline = TrainingPipeline(traces, scale.settings())
+    grid = ParameterGrid(
+        {
+            "window_s": [2 * HOUR, 5 * HOUR, 7 * HOUR],
+            "confidence": [0.1, 0.3, 0.5],
+        }
+    )
+    report = pipeline.run(ProRPConfig(), grid)
+    rows = [
+        [
+            candidate.config.window_s // HOUR,
+            candidate.config.confidence,
+            round(candidate.kpis.qos_percent, 1),
+            round(candidate.kpis.idle_percent, 2),
+            round(candidate.score, 1),
+        ]
+        for candidate in report.candidates
+    ]
+    print(
+        format_table(
+            ["window (h)", "confidence", "QoS %", "idle %", "score"],
+            rows,
+            title=f"Training sweep on {args.region}",
+        )
+    )
+    best = report.best.config
+    print(
+        f"\nselected: window = {best.window_s // HOUR}h, "
+        f"confidence = {best.confidence}"
+    )
+    return 0
+
+
+def cmd_digest(args: argparse.Namespace) -> int:
+    from repro.report import region_digest
+
+    scale = _scale(args)
+    traces = generate_region_traces(
+        RegionPreset(args.region), args.databases, span_days=scale.span_days,
+        seed=args.seed,
+    )
+    print(
+        region_digest(
+            traces,
+            scale.settings(),
+            title=f"{args.region}: {args.databases} databases, "
+            f"{args.eval_days}-day window",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    if args.command == "figures":
+        return cmd_figures(args)
+    if args.command == "tune":
+        return cmd_tune(args)
+    if args.command == "digest":
+        return cmd_digest(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Cluster substrate: capacity-constrained nodes hosting serverless
+databases.
+
+The paper's motivation for proactive resumes includes the worst case where
+"there is not enough resource capacity on the node to resume the resources
+for a database.  Such database must be moved to another node" (Section 1).
+This package models exactly that: databases are placed on nodes with finite
+resume capacity; a resume on a full node triggers a move to the least-loaded
+node with room, at a higher latency.
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.cluster import AllocationOutcome, Cluster
+
+__all__ = ["Node", "Cluster", "AllocationOutcome"]

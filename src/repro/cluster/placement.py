@@ -1,0 +1,131 @@
+"""Prediction-aware tenant placement (future-work direction (3)).
+
+"The proactive resource allocation policy must align with the data-driven
+tenant placement and load balancing algorithms to amplify the business
+impact": reclaimed resources only save money if another database on the
+same node can reuse them, and proactive resumes only stay cheap if they do
+not all land on the same node at the same minute.
+
+The advisor keeps, per node, a histogram of *predicted* resume times (from
+the metadata store's ``start_of_pred_activity``) and scores candidate nodes
+for a database by the predicted concurrent-resume pressure around that
+database's own predicted activity.  Placing anti-correlated databases
+together flattens each node's resume peaks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.errors import CapacityError
+from repro.types import SECONDS_PER_MINUTE
+
+#: Resolution of the predicted-resume histogram.
+DEFAULT_BUCKET_S = 5 * SECONDS_PER_MINUTE
+
+
+@dataclass(frozen=True)
+class PlacementScore:
+    node_id: str
+    #: Predicted resumes on the node within the window around the
+    #: database's own predicted start (lower is better).
+    predicted_pressure: int
+    residents: int
+
+
+class PlacementAdvisor:
+    """Scores nodes by predicted resume pressure."""
+
+    def __init__(self, cluster: Cluster, bucket_s: int = DEFAULT_BUCKET_S):
+        if bucket_s <= 0:
+            raise CapacityError("bucket width must be positive")
+        self._cluster = cluster
+        self._bucket_s = bucket_s
+        # node id -> {bucket index -> count of predicted resumes}.
+        self._histograms: Dict[str, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        # database -> (node id, bucket) so predictions can be retracted.
+        self._registrations: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Prediction bookkeeping
+    # ------------------------------------------------------------------
+
+    def record_prediction(self, database_id: str, node_id: str, pred_start: int) -> None:
+        """Register (or update) a database's predicted resume time."""
+        self.clear_prediction(database_id)
+        if pred_start <= 0:
+            return  # no prediction: contributes no pressure
+        bucket = pred_start // self._bucket_s
+        self._histograms[node_id][bucket] += 1
+        self._registrations[database_id] = (node_id, bucket)
+
+    def clear_prediction(self, database_id: str) -> None:
+        registration = self._registrations.pop(database_id, None)
+        if registration is None:
+            return
+        node_id, bucket = registration
+        histogram = self._histograms[node_id]
+        histogram[bucket] -= 1
+        if histogram[bucket] <= 0:
+            del histogram[bucket]
+
+    def node_pressure(self, node_id: str, pred_start: int, window_buckets: int = 2) -> int:
+        """Predicted resumes on a node within +/- ``window_buckets`` of the
+        given predicted start."""
+        if pred_start <= 0:
+            return 0
+        histogram = self._histograms.get(node_id)
+        if not histogram:
+            return 0
+        center = pred_start // self._bucket_s
+        return sum(
+            histogram.get(center + offset, 0)
+            for offset in range(-window_buckets, window_buckets + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def score_nodes(self, pred_start: int) -> List[PlacementScore]:
+        """Every node scored for a database with the given predicted start,
+        best (least pressure, then fewest residents) first."""
+        scores = [
+            PlacementScore(
+                node_id=node.node_id,
+                predicted_pressure=self.node_pressure(node.node_id, pred_start),
+                residents=len(node.residents),
+            )
+            for node in self._cluster.nodes
+        ]
+        scores.sort(key=lambda s: (s.predicted_pressure, s.residents, s.node_id))
+        return scores
+
+    def suggest_node(self, pred_start: int) -> Node:
+        """The node a new (or moving) database should land on."""
+        best = self.score_nodes(pred_start)[0]
+        for node in self._cluster.nodes:
+            if node.node_id == best.node_id:
+                return node
+        raise CapacityError(f"node {best.node_id!r} vanished")  # pragma: no cover
+
+    def place(self, database_id: str, pred_start: int) -> Node:
+        """Place a database on the suggested node and register its
+        prediction."""
+        node = self.suggest_node(pred_start)
+        self._cluster.place(database_id, node)
+        self.record_prediction(database_id, node.node_id, pred_start)
+        return node
+
+    def peak_pressure(self, node_id: str) -> int:
+        """The node's worst predicted-resume bucket (load-balance metric)."""
+        histogram = self._histograms.get(node_id)
+        if not histogram:
+            return 0
+        return max(histogram.values())

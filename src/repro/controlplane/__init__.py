@@ -1,0 +1,31 @@
+"""Control-plane substrate: workflow execution and diagnostics.
+
+The resource allocation and reclamation mechanisms of Azure SQL Database
+run as control-plane workflows with bounded concurrency; a diagnostics and
+mitigation runner "monitors the number of databases in the proactive
+resume and physical pause queues ... makes sure that these queues drain
+and mitigates databases that get stuck during resume or pause.  In rare
+cases, this automatic mitigation process times out or fails, incidents are
+triggered and resolved by an on-call engineer" (Section 7).
+
+This package reproduces that machinery: a workflow engine with queues,
+concurrency limits, and fault injection, plus the runner that retries
+stuck workflows and escalates to incidents.
+"""
+
+from repro.controlplane.workflows import (
+    Workflow,
+    WorkflowEngine,
+    WorkflowKind,
+    WorkflowState,
+)
+from repro.controlplane.diagnostics import DiagnosticsRunner, Incident
+
+__all__ = [
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowKind",
+    "WorkflowState",
+    "DiagnosticsRunner",
+    "Incident",
+]

@@ -1,0 +1,106 @@
+"""The diagnostics and mitigation runner (Section 7).
+
+Monitors queue depths and workflow progress, retries stuck workflows, and
+escalates to an incident when mitigation runs out of attempts -- "in rare
+cases, this automatic mitigation process times out or fails, incidents are
+triggered and resolved by an on-call engineer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.controlplane.workflows import (
+    Workflow,
+    WorkflowEngine,
+    WorkflowKind,
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """An escalation to the on-call engineer."""
+
+    time: int
+    workflow_id: int
+    database_id: str
+    kind: WorkflowKind
+    reason: str
+
+
+@dataclass
+class QueueSample:
+    """One monitoring sample of the engine's queues."""
+
+    time: int
+    pending: int
+    running: int
+    per_kind: Dict[str, int]
+
+
+class DiagnosticsRunner:
+    """Periodically inspects the workflow engine and mitigates."""
+
+    def __init__(
+        self,
+        engine: WorkflowEngine,
+        stuck_after_s: int = 300,
+        max_retries: int = 2,
+        queue_alert_depth: int = 1000,
+    ):
+        self._engine = engine
+        self._stuck_after_s = stuck_after_s
+        self._max_retries = max_retries
+        self._queue_alert_depth = queue_alert_depth
+        self.samples: List[QueueSample] = []
+        self.incidents: List[Incident] = []
+        self.mitigations: int = 0
+
+    def run_once(self, now: int) -> None:
+        """One monitoring pass: sample queues, mitigate, escalate."""
+        self.samples.append(
+            QueueSample(
+                time=now,
+                pending=self._engine.pending_count,
+                running=self._engine.running_count,
+                per_kind={
+                    kind.value: self._engine.queue_depth(kind)
+                    for kind in WorkflowKind
+                },
+            )
+        )
+        if self._engine.pending_count > self._queue_alert_depth:
+            self.incidents.append(
+                Incident(
+                    time=now,
+                    workflow_id=-1,
+                    database_id="-",
+                    kind=WorkflowKind.PROACTIVE_RESUME,
+                    reason=(
+                        f"queue depth {self._engine.pending_count} exceeds "
+                        f"{self._queue_alert_depth}: queues are not draining"
+                    ),
+                )
+            )
+        for workflow in self._engine.stuck_workflows(now, self._stuck_after_s):
+            if workflow.retries < self._max_retries:
+                self._engine.retry(workflow, now)
+                self.mitigations += 1
+            else:
+                self._engine.fail(workflow, now)
+                self.incidents.append(
+                    Incident(
+                        time=now,
+                        workflow_id=workflow.workflow_id,
+                        database_id=workflow.database_id,
+                        kind=workflow.kind,
+                        reason=(
+                            f"workflow stuck after {workflow.retries} "
+                            "mitigation attempts"
+                        ),
+                    )
+                )
+
+    def queues_drained(self) -> bool:
+        return self._engine.drained()

@@ -1,0 +1,185 @@
+"""Workflow engine: queued resume/pause operations with bounded
+concurrency and fault injection.
+
+Workflows are driven by explicit ``tick(now)`` calls so the engine can be
+tested standalone and stress-tested at the volumes of Figures 11-12
+without entangling the KPI simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import WorkflowError
+
+
+class WorkflowKind(enum.Enum):
+    PROACTIVE_RESUME = "proactive_resume"
+    REACTIVE_RESUME = "reactive_resume"
+    PHYSICAL_PAUSE = "physical_pause"
+
+
+class WorkflowState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    #: Stopped making progress (fault injection); needs mitigation.
+    STUCK = "stuck"
+    #: Mitigation retried it; terminal success is still possible.
+    MITIGATED = "mitigated"
+    #: Gave up after mitigation attempts: incident territory.
+    FAILED = "failed"
+
+
+@dataclass
+class Workflow:
+    """One resume/pause workflow instance."""
+
+    workflow_id: int
+    kind: WorkflowKind
+    database_id: str
+    submitted_at: int
+    duration_s: int
+    state: WorkflowState = WorkflowState.PENDING
+    started_at: Optional[int] = None
+    finished_at: Optional[int] = None
+    retries: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (WorkflowState.SUCCEEDED, WorkflowState.FAILED)
+
+
+class WorkflowEngine:
+    """Bounded-concurrency workflow executor with fault injection.
+
+    ``stuck_probability`` is the chance that a started workflow hangs
+    instead of completing -- the failure mode the diagnostics runner of
+    Section 7 exists to mitigate.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 100,
+        default_duration_s: int = 45,
+        stuck_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if max_concurrent <= 0:
+            raise WorkflowError("max_concurrent must be positive")
+        if not 0.0 <= stuck_probability < 1.0:
+            raise WorkflowError("stuck_probability must be in [0, 1)")
+        self._max_concurrent = max_concurrent
+        self._default_duration_s = default_duration_s
+        self._stuck_probability = stuck_probability
+        self._rng = random.Random(seed)
+        self._next_id = 0
+        self._pending: Deque[Workflow] = deque()
+        self._running: List[Workflow] = []
+        self.workflows: Dict[int, Workflow] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        kind: WorkflowKind,
+        database_id: str,
+        now: int,
+        duration_s: Optional[int] = None,
+    ) -> Workflow:
+        workflow = Workflow(
+            workflow_id=self._next_id,
+            kind=kind,
+            database_id=database_id,
+            submitted_at=now,
+            duration_s=duration_s if duration_s is not None else self._default_duration_s,
+        )
+        self._next_id += 1
+        self.workflows[workflow.workflow_id] = workflow
+        self._pending.append(workflow)
+        return workflow
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> List[Workflow]:
+        """Advance the engine: finish due workflows, start pending ones.
+        Returns workflows that reached SUCCEEDED during this tick."""
+        completed: List[Workflow] = []
+        still_running: List[Workflow] = []
+        for workflow in self._running:
+            if workflow.state is WorkflowState.STUCK:
+                still_running.append(workflow)
+                continue
+            if workflow.started_at + workflow.duration_s <= now:
+                workflow.state = WorkflowState.SUCCEEDED
+                workflow.finished_at = now
+                completed.append(workflow)
+            else:
+                still_running.append(workflow)
+        self._running = still_running
+        while self._pending and len(self._running) < self._max_concurrent:
+            workflow = self._pending.popleft()
+            workflow.state = WorkflowState.RUNNING
+            workflow.started_at = now
+            if self._rng.random() < self._stuck_probability:
+                workflow.state = WorkflowState.STUCK
+            self._running.append(workflow)
+        return completed
+
+    # ------------------------------------------------------------------
+    # Mitigation hooks (used by the diagnostics runner)
+    # ------------------------------------------------------------------
+
+    def stuck_workflows(self, now: int, stuck_after_s: int) -> List[Workflow]:
+        """Workflows that stopped making progress for ``stuck_after_s``."""
+        return [
+            w
+            for w in self._running
+            if w.state is WorkflowState.STUCK
+            and now - w.started_at >= stuck_after_s
+        ]
+
+    def retry(self, workflow: Workflow, now: int) -> None:
+        """Mitigate a stuck workflow: restart it at the queue head."""
+        if workflow.state is not WorkflowState.STUCK:
+            raise WorkflowError(
+                f"workflow {workflow.workflow_id} is {workflow.state.value}, not stuck"
+            )
+        self._running.remove(workflow)
+        workflow.state = WorkflowState.MITIGATED
+        workflow.retries += 1
+        workflow.started_at = None
+        self._pending.appendleft(workflow)
+
+    def fail(self, workflow: Workflow, now: int) -> None:
+        """Give up on a workflow (incident escalation)."""
+        if workflow in self._running:
+            self._running.remove(workflow)
+        workflow.state = WorkflowState.FAILED
+        workflow.finished_at = now
+
+    # ------------------------------------------------------------------
+    # Monitoring surface
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def queue_depth(self, kind: WorkflowKind) -> int:
+        return sum(1 for w in self._pending if w.kind is kind)
+
+    def drained(self) -> bool:
+        return not self._pending and not self._running

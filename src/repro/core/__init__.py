@@ -1,0 +1,31 @@
+"""The paper's primary contribution: proactive resume and pause.
+
+* :mod:`repro.core.predictor` -- the probabilistic next-activity prediction
+  (Algorithm 4), faithful to the stored procedure, running against any
+  history backend (B-tree store or SQL procedures).
+* :mod:`repro.core.fast_predictor` -- a NumPy-vectorised implementation
+  proven equivalent by the test suite; used for fleet-scale simulation.
+* :mod:`repro.core.lifecycle` -- the resumed / logically-paused /
+  physically-paused finite state automaton of Figure 4.
+* :mod:`repro.core.policy` -- the reactive baseline, the proactive policy
+  (Algorithm 1), and the clairvoyant optimal policy (Figure 2).
+* :mod:`repro.core.resume_service` -- the periodic proactive resume
+  operation of the control plane (Algorithm 5).
+* :mod:`repro.core.kpi` -- the KPI metrics of Section 8.
+"""
+
+from repro.core.predictor import predict_next_activity, HistoryView
+from repro.core.fast_predictor import FastPredictor
+from repro.core.lifecycle import LifecycleState, LifecycleTransition
+from repro.core.policy import PolicyKind
+from repro.core.kpi import KpiReport
+
+__all__ = [
+    "predict_next_activity",
+    "HistoryView",
+    "FastPredictor",
+    "LifecycleState",
+    "LifecycleTransition",
+    "PolicyKind",
+    "KpiReport",
+]

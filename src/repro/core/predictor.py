@@ -1,0 +1,86 @@
+"""Prediction of next activity: the probabilistic Algorithm 4.
+
+The algorithm slides a window of length ``w`` every ``s`` seconds across the
+prediction horizon ``[now, now + p]``.  For each candidate window it looks at
+the same window of the day (or week, for weekly seasonality) on each of the
+previous ``h`` periods, counts how many of those past windows contained at
+least one login, and divides by the number of periods to get the activity
+probability.  The earliest window whose probability reaches the confidence
+threshold ``c`` seeds the prediction; consecutive qualifying windows with
+strictly higher probability refine it; the scan stops as soon as a
+prediction exists and the current window no longer improves it (see
+DESIGN.md for the tie-breaking interpretation of the paper's lines 37-46).
+
+The predicted start/end are the earliest first-login offset and the latest
+last-login offset observed across the historical windows, projected onto
+the candidate window -- exactly lines 25-33 of the stored procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple
+
+from repro.config import ProRPConfig
+from repro.types import PredictedActivity
+
+
+class HistoryView(Protocol):
+    """What Algorithm 4 needs from the history store: the MIN/MAX login
+    range query of lines 19-24.  Both the direct B-tree store and the SQL
+    procedures satisfy this protocol."""
+
+    def first_last_login(
+        self, window_start: int, window_end: int
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """(first, last) login timestamp within [window_start, window_end],
+        or (None, None) when the window contains no logins."""
+
+
+def predict_next_activity(
+    history: HistoryView,
+    config: ProRPConfig,
+    now: int,
+) -> PredictedActivity:
+    """Run Algorithm 4 and return the next predicted activity.
+
+    Returns the no-prediction sentinel (``start == end == 0``) when no
+    window across the horizon reaches the confidence threshold -- this is
+    the ``nextActivity.start = 0`` case of Algorithm 1.
+    """
+    period = config.seasonality.period_seconds
+    periods = config.seasonality_periods_in_history
+    window_start = now
+    horizon_end = now + config.horizon_s
+    best: Optional[PredictedActivity] = None
+    previous_probability = 0.0
+    while window_start + config.window_s <= horizon_end:
+        windows_with_activity = 0
+        first_login_per_window = config.window_s
+        last_login_per_window = 0
+        for previous in range(1, periods + 1):
+            past_start = window_start - previous * period
+            past_end = past_start + config.window_s
+            first, last = history.first_last_login(past_start, past_end)
+            if first is None:
+                continue
+            first_offset = first - past_start
+            last_offset = last - past_start
+            if first_offset < first_login_per_window:
+                first_login_per_window = first_offset
+            if last_offset > last_login_per_window:
+                last_login_per_window = last_offset
+            windows_with_activity += 1
+        probability = windows_with_activity / periods
+        if probability >= config.confidence and (
+            best is None or probability > previous_probability
+        ):
+            best = PredictedActivity(
+                start=window_start + first_login_per_window,
+                end=window_start + last_login_per_window,
+                confidence=probability,
+            )
+            previous_probability = probability
+        elif best is not None:
+            break
+        window_start += config.slide_s
+    return best if best is not None else PredictedActivity.none()

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the ProRP reproduction.
+
+Every exception raised by this package derives from :class:`ProRPError` so
+callers can catch one base class.  Sub-hierarchies mirror the subsystems:
+storage, SQL engine, simulation, control plane, and configuration.
+"""
+
+from __future__ import annotations
+
+
+class ProRPError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ProRPError):
+    """An invalid configuration knob value (Table 1 of the paper)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ProRPError):
+    """Base class for errors raised by the storage substrate."""
+
+
+class DuplicateKeyError(StorageError):
+    """A unique-key constraint was violated on insert."""
+
+
+class KeyNotFoundError(StorageError):
+    """A key expected to be present in an index was missing."""
+
+
+class SchemaError(StorageError):
+    """A row or query does not conform to the table schema."""
+
+
+class TableNotFoundError(StorageError):
+    """A statement referenced a table that does not exist."""
+
+
+class TableAlreadyExistsError(StorageError):
+    """``CREATE TABLE`` targeted a name that is already in use."""
+
+
+# ---------------------------------------------------------------------------
+# SQL engine
+# ---------------------------------------------------------------------------
+
+
+class SqlError(ProRPError):
+    """Base class for errors raised by the SQL engine."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlBindingError(SqlError):
+    """A ``@parameter`` placeholder was unbound or of the wrong type."""
+
+
+class SqlPlanError(SqlError):
+    """The planner could not produce a plan for a parsed statement."""
+
+
+class SqlExecutionError(SqlError):
+    """A runtime failure while executing a planned statement."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation and control plane
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ProRPError):
+    """An inconsistency detected while running the discrete-event simulator."""
+
+
+class TraceError(ProRPError):
+    """A customer-activity trace violates ordering or overlap invariants."""
+
+
+class WorkflowError(ProRPError):
+    """A control-plane workflow failed or was cancelled."""
+
+
+class CapacityError(ProRPError):
+    """A cluster node could not satisfy a resource allocation request."""

@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per evaluation figure of the paper.
+
+Each driver regenerates the rows/series behind one figure on a synthetic
+fleet and returns a structured result with ``rows()`` and ``table()``.
+The benchmark harness (``benchmarks/``) runs these and prints the tables;
+EXPERIMENTS.md records the measured values against the paper's.
+
+========  ==========================================================
+Driver    Reproduces
+========  ==========================================================
+fig3      Idle-time fragmentation CDFs (Figure 3)
+fig6      Reactive vs proactive KPIs across regions (Figure 6)
+fig7      Validation across evaluation days (Figure 7)
+fig8      Window-size sweep (Figure 8)
+fig9      Confidence-threshold sweep (Figure 9)
+fig10     Overhead CDFs: history size + prediction latency (Figure 10)
+fig11     Proactive-resume workflow frequency (Figure 11)
+fig12     Physical-pause workflow frequency (Figure 12)
+ablation  Design-choice studies: pre-warm k, history length,
+          seasonality, logical-pause duration, predictor backends
+========  ==========================================================
+"""
+
+from repro.experiments.common import ExperimentScale, region_fleet
+
+__all__ = ["ExperimentScale", "region_fleet"]

@@ -1,0 +1,158 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* ``run_history_length_ablation`` -- Section 9.2 claims the QoS/COGS
+  trade-off is "relatively independent from history length".
+* ``run_seasonality_ablation`` -- "weekly seasonality achieves similar
+  results to daily seasonality".
+* ``run_prewarm_ablation`` -- sensitivity to the pre-warm interval ``k``.
+* ``run_logical_pause_ablation`` -- the value of logical pauses: shrinking
+  ``l`` towards zero approximates reclaim-immediately and shows the
+  QoS collapse / workflow storm that motivates them (Section 1, (2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis import format_table
+from repro.config import DEFAULT_CONFIG, ProRPConfig, Seasonality
+from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.simulation.region import simulate_region
+from repro.types import SECONDS_PER_HOUR, SECONDS_PER_MINUTE
+from repro.workload.regions import RegionPreset
+
+HOUR = SECONDS_PER_HOUR
+MIN = SECONDS_PER_MINUTE
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    knob: str
+    rows_data: List[Dict[str, object]]
+    title: str
+
+    def rows(self) -> List[Dict[str, object]]:
+        return self.rows_data
+
+    def table(self) -> str:
+        rows = [
+            [
+                r[self.knob],
+                round(r["qos_percent"], 1),
+                round(r["idle_percent"], 2),
+                r["reactive_resumes"],
+                r["physical_pauses"],
+            ]
+            for r in self.rows_data
+        ]
+        return format_table(
+            [self.knob, "QoS%", "idle%", "reactive resumes", "physical pauses"],
+            rows,
+            title=self.title,
+        )
+
+
+def _sweep(
+    knob: str,
+    configs: Sequence[ProRPConfig],
+    labels: Sequence[object],
+    title: str,
+    scale: ExperimentScale,
+    preset: RegionPreset,
+) -> AblationResult:
+    traces = region_fleet(preset, scale)
+    settings = scale.settings()
+    rows: List[Dict[str, object]] = []
+    for label, config in zip(labels, configs):
+        kpis = simulate_region(traces, "proactive", config, settings).kpis()
+        rows.append(
+            {
+                knob: label,
+                "qos_percent": kpis.qos_percent,
+                "idle_percent": kpis.idle_percent,
+                "reactive_resumes": kpis.workflows.reactive_resumes,
+                "physical_pauses": kpis.workflows.physical_pauses,
+            }
+        )
+    return AblationResult(knob=knob, rows_data=rows, title=title)
+
+
+def run_history_length_ablation(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    history_days: Sequence[int] = (7, 14, 21, 28),
+) -> AblationResult:
+    configs = [DEFAULT_CONFIG.with_overrides(history_days=h) for h in history_days]
+    return _sweep(
+        "history_days",
+        configs,
+        list(history_days),
+        "Ablation: history length h [paper Section 9.2: trade-off "
+        "relatively independent of h; h must stay below the databases' "
+        "lifespan or they all count as new]",
+        scale,
+        preset,
+    )
+
+
+def run_seasonality_ablation(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+) -> AblationResult:
+    configs = [
+        DEFAULT_CONFIG.with_overrides(seasonality=Seasonality.DAILY),
+        DEFAULT_CONFIG.with_overrides(
+            seasonality=Seasonality.WEEKLY, horizon_s=7 * 24 * HOUR
+        ),
+        DEFAULT_CONFIG.with_overrides(auto_seasonality=True),
+    ]
+    return _sweep(
+        "seasonality",
+        configs,
+        ["daily", "weekly", "auto"],
+        "Ablation: seasonality [paper Section 9.2: weekly achieves similar "
+        "results to daily; 'auto' detects the period per database]",
+        scale,
+        preset,
+    )
+
+
+def run_prewarm_ablation(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    prewarm_minutes: Sequence[int] = (1, 5, 15, 60),
+) -> AblationResult:
+    configs = [
+        DEFAULT_CONFIG.with_overrides(prewarm_s=m * MIN) for m in prewarm_minutes
+    ]
+    return _sweep(
+        "prewarm_min",
+        configs,
+        list(prewarm_minutes),
+        "Ablation: pre-warm interval k [earlier pre-warm trades idle time "
+        "for login-jitter tolerance]",
+        scale,
+        preset,
+    )
+
+
+def run_logical_pause_ablation(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    pause_hours: Sequence[float] = (0.05, 1, 7, 14),
+) -> AblationResult:
+    configs = [
+        DEFAULT_CONFIG.with_overrides(logical_pause_s=int(h * HOUR))
+        for h in pause_hours
+    ]
+    return _sweep(
+        "logical_pause_h",
+        configs,
+        list(pause_hours),
+        "Ablation: logical pause duration l [l -> 0 approximates "
+        "reclaim-immediately: QoS drops, reclamation workflows surge "
+        "(the Section 1 motivation for logical pauses)]",
+        scale,
+        preset,
+    )

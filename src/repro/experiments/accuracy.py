@@ -1,0 +1,104 @@
+"""Prediction-accuracy study: the 'sufficient in practice' claim.
+
+The paper repeatedly argues that simple probabilistic forecasting is
+accurate enough for production (Sections 1, 3, 10).  This driver measures
+Algorithm 4's precision/recall and lead-time error per usage archetype on
+a synthetic region -- quantifying *where* the simple detector is
+sufficient (recurring patterns) and where nothing could predict (sporadic
+tails, which the policy correctly leaves to the reactive path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis import format_table
+from repro.analysis.archetype_report import archetype_of
+from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.core.accuracy import AccuracyReport, evaluate_predictions
+from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.simulation.region import simulate_region
+from repro.types import SECONDS_PER_MINUTE
+from repro.workload.regions import RegionPreset
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    archetype: str
+    report: AccuracyReport
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    by_archetype: List[AccuracyRow]
+    fleet: AccuracyReport
+
+    def rows(self) -> List[Dict[str, object]]:
+        out = []
+        for row in self.by_archetype + [AccuracyRow("fleet", self.fleet)]:
+            report = row.report
+            median_lead_min = (
+                report.lead_time_percentile(50) / SECONDS_PER_MINUTE
+                if report.lead_time_errors_s
+                else None
+            )
+            out.append(
+                {
+                    "archetype": row.archetype,
+                    "predictions": report.total,
+                    "precision": report.precision,
+                    "recall": report.recall,
+                    "median_lead_min": median_lead_min,
+                }
+            )
+        return out
+
+    def table(self) -> str:
+        rows = []
+        for r in self.rows():
+            rows.append(
+                [
+                    r["archetype"],
+                    r["predictions"],
+                    round(r["precision"], 2),
+                    round(r["recall"], 2),
+                    "-" if r["median_lead_min"] is None
+                    else round(r["median_lead_min"], 1),
+                ]
+            )
+        return format_table(
+            ["archetype", "predictions", "precision", "recall", "median lead (min)"],
+            rows,
+            title=(
+                "Prediction accuracy by archetype [the paper's claim: simple "
+                "probabilistic forecasting is sufficient in practice]"
+            ),
+        )
+
+
+def run_accuracy(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    config: ProRPConfig = DEFAULT_CONFIG,
+) -> AccuracyResult:
+    traces = region_fleet(preset, scale)
+    settings = scale.settings(collect_predictions=True)
+    result = simulate_region(traces, "proactive", config, settings)
+    by_id = {t.database_id: t for t in traces}
+    grouped: Dict[str, AccuracyReport] = {}
+    fleet = AccuracyReport()
+    for outcome in result.outcomes:
+        trace = by_id[outcome.database_id]
+        report = evaluate_predictions(outcome, trace, horizon_s=config.horizon_s)
+        grouped.setdefault(archetype_of(outcome.database_id), AccuracyReport()).merge(
+            report
+        )
+        fleet.merge(report)
+    rows = [
+        AccuracyRow(name, report)
+        for name, report in sorted(
+            grouped.items(), key=lambda item: -item[1].total
+        )
+    ]
+    return AccuracyResult(by_archetype=rows, fleet=fleet)

@@ -1,0 +1,108 @@
+"""Shared experiment plumbing: scales, fleet caching, and windows.
+
+The paper evaluates on hundreds of thousands of production databases; the
+drivers default to a laptop-scale fleet that preserves the figure shapes.
+``ExperimentScale`` makes the size explicit and lets the benchmarks and
+the test suite choose smaller fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.simulation.region import SimulationSettings
+from repro.types import ActivityTrace, SECONDS_PER_DAY
+from repro.workload.regions import RegionPreset, generate_region_traces
+
+DAY = SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Fleet size and evaluation window of one experiment run.
+
+    ``eval_end_day`` places the window inside the span; the default leaves
+    two tail days so predictions at the window edge still have future
+    activity to hit, and puts the default 2-day window on weekdays (the
+    synthetic weekday-only databases would otherwise be quiet; the paper's
+    production fleet has weekend activity everywhere).
+    """
+
+    n_databases: int = 250
+    span_days: int = 35
+    eval_days: int = 2
+    warmup_days: int = 1
+    seed: int = 0
+    eval_end_day: int = None
+
+    def __post_init__(self) -> None:
+        end_day = self.end_day
+        if end_day > self.span_days:
+            raise ValueError(
+                f"eval_end_day={end_day} is beyond span_days={self.span_days}"
+            )
+        if end_day - self.eval_days - self.warmup_days <= 0:
+            raise ValueError(
+                f"span leaves no history before the {self.eval_days}-day "
+                f"evaluation window ending on day {end_day}"
+            )
+
+    @property
+    def end_day(self) -> int:
+        if self.eval_end_day is not None:
+            return self.eval_end_day
+        return self.span_days - 2
+
+    @property
+    def eval_start(self) -> int:
+        return (self.end_day - self.eval_days) * DAY
+
+    @property
+    def eval_end(self) -> int:
+        return self.end_day * DAY
+
+    def settings(self, **overrides) -> SimulationSettings:
+        base = dict(
+            eval_start=self.eval_start,
+            eval_end=self.eval_end,
+            warmup_s=self.warmup_days * DAY,
+            seed=self.seed,
+        )
+        base.update(overrides)
+        return SimulationSettings(**base)
+
+    def smaller(self, n_databases: int, eval_days: int = None) -> "ExperimentScale":
+        return replace(
+            self,
+            n_databases=n_databases,
+            eval_days=eval_days if eval_days is not None else self.eval_days,
+        )
+
+
+#: The default scale used by the benchmark harness: 400 databases over a
+#: 3-weekday evaluation window.
+BENCH_SCALE = ExperimentScale(n_databases=400, eval_days=3)
+
+#: A tiny scale for the test suite.
+TEST_SCALE = ExperimentScale(n_databases=60, eval_days=1)
+
+
+@lru_cache(maxsize=16)
+def _cached_fleet(
+    preset_value: str, n_databases: int, span_days: int, seed: int
+) -> Tuple[ActivityTrace, ...]:
+    preset = RegionPreset(preset_value)
+    return tuple(
+        generate_region_traces(preset, n_databases, span_days=span_days, seed=seed)
+    )
+
+
+def region_fleet(
+    preset: RegionPreset, scale: ExperimentScale
+) -> List[ActivityTrace]:
+    """A (cached) region fleet at the requested scale."""
+    return list(
+        _cached_fleet(preset.value, scale.n_databases, scale.span_days, scale.seed)
+    )

@@ -1,0 +1,99 @@
+"""Figure 6: reactive vs proactive KPIs across four regions.
+
+Panel (a): % of first logins after idle intervals served with resources
+available (reactive: 60-68%, proactive: 80-90% in the paper).
+Panel (b): % of time resources sit idle (reactive: 5-12% from logical
+pauses; proactive: 3-7% logical + 1-4% wrong + 1-5% correct proactive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis import format_table
+from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.core.kpi import KpiReport
+from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.simulation.region import simulate_region
+from repro.workload.regions import RegionPreset
+
+
+@dataclass(frozen=True)
+class RegionComparison:
+    region: str
+    reactive: KpiReport
+    proactive: KpiReport
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    comparisons: List[RegionComparison]
+
+    def rows(self) -> List[Dict[str, object]]:
+        out = []
+        for comparison in self.comparisons:
+            reactive, proactive = comparison.reactive, comparison.proactive
+            out.append(
+                {
+                    "region": comparison.region,
+                    "reactive_qos_percent": reactive.qos_percent,
+                    "proactive_qos_percent": proactive.qos_percent,
+                    "reactive_idle_percent": reactive.idle_percent,
+                    "proactive_idle_percent": proactive.idle_percent,
+                    "proactive_idle_logical": proactive.idle_logical_pause_percent,
+                    "proactive_idle_correct": proactive.idle_correct_proactive_percent,
+                    "proactive_idle_wrong": proactive.idle_wrong_proactive_percent,
+                }
+            )
+        return out
+
+    def table(self) -> str:
+        rows = [
+            [
+                r["region"],
+                round(r["reactive_qos_percent"], 1),
+                round(r["proactive_qos_percent"], 1),
+                round(r["reactive_idle_percent"], 2),
+                round(r["proactive_idle_percent"], 2),
+                round(r["proactive_idle_logical"], 2),
+                round(r["proactive_idle_correct"], 2),
+                round(r["proactive_idle_wrong"], 2),
+            ]
+            for r in self.rows()
+        ]
+        return format_table(
+            [
+                "region",
+                "QoS% react (6a)",
+                "QoS% proact (6a)",
+                "idle% react (6b)",
+                "idle% proact (6b)",
+                "  logical",
+                "  correct",
+                "  wrong",
+            ],
+            rows,
+            title=(
+                "Figure 6: reactive vs proactive across regions "
+                "[paper: QoS 60-68 -> 80-90; idle 5-12 -> 3-7 logical "
+                "+1-4 wrong +1-5 correct]"
+            ),
+        )
+
+
+def run_fig6(
+    scale: ExperimentScale = BENCH_SCALE,
+    regions: Sequence[RegionPreset] = tuple(RegionPreset),
+    config: ProRPConfig = DEFAULT_CONFIG,
+) -> Fig6Result:
+    comparisons = []
+    for preset in regions:
+        traces = region_fleet(preset, scale)
+        settings = scale.settings()
+        reactive = simulate_region(traces, "reactive", config, settings).kpis()
+        proactive = simulate_region(traces, "proactive", config, settings).kpis()
+        comparisons.append(
+            RegionComparison(preset.value, reactive=reactive, proactive=proactive)
+        )
+    return Fig6Result(comparisons)

@@ -1,0 +1,31 @@
+"""Prediction-aligned scheduling of system maintenance operations.
+
+Future-work direction (4) of the paper: "we will schedule these operations
+[backups, software updates, version upgrades, stats refresh] when the
+database is predicted to be online to minimize impact of increased backend
+load of resuming just for the purpose of running these operations", in the
+spirit of Seagull [57].
+
+* :mod:`repro.maintenance.operations` -- the maintenance operation model.
+* :mod:`repro.maintenance.scheduler` -- a naive fixed-time scheduler (the
+  status quo: maintenance resumes paused databases) and the predictive
+  scheduler that places operations inside predicted-online windows, plus
+  the evaluation comparing the extra resumes both cause.
+"""
+
+from repro.maintenance.operations import MaintenanceKind, MaintenanceOperation
+from repro.maintenance.scheduler import (
+    MaintenanceEvaluation,
+    NaiveScheduler,
+    PredictiveScheduler,
+    evaluate_schedule,
+)
+
+__all__ = [
+    "MaintenanceKind",
+    "MaintenanceOperation",
+    "NaiveScheduler",
+    "PredictiveScheduler",
+    "evaluate_schedule",
+    "MaintenanceEvaluation",
+]

@@ -1,0 +1,84 @@
+"""Maintenance operation model.
+
+Section 3.3: system maintenance operations trigger resumes but are ignored
+by the proactive policy (they are not customer activity).  Section 11(4)
+plans to schedule them when the database is predicted to be online anyway.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+class MaintenanceKind(enum.Enum):
+    """The operations Section 11(4) lists."""
+
+    BACKUP = "backup"
+    SOFTWARE_UPDATE = "software_update"
+    VERSION_UPGRADE = "version_upgrade"
+    STATS_REFRESH = "stats_refresh"
+
+
+#: Typical durations in seconds (synthetic but plausible).
+DEFAULT_DURATIONS = {
+    MaintenanceKind.BACKUP: 15 * 60,
+    MaintenanceKind.SOFTWARE_UPDATE: 10 * 60,
+    MaintenanceKind.VERSION_UPGRADE: 30 * 60,
+    MaintenanceKind.STATS_REFRESH: 5 * 60,
+}
+
+
+@dataclass(frozen=True)
+class MaintenanceOperation:
+    """One pending operation for one database.
+
+    The operation may run anywhere inside ``[window_start, deadline]``; a
+    scheduler picks the concrete start time.
+    """
+
+    database_id: str
+    kind: MaintenanceKind
+    window_start: int
+    deadline: int
+    duration_s: int
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise SimulationError("maintenance duration must be positive")
+        if self.deadline - self.window_start < self.duration_s:
+            raise SimulationError(
+                f"{self.kind.value} for {self.database_id}: the window "
+                f"[{self.window_start}, {self.deadline}] cannot fit "
+                f"{self.duration_s}s of work"
+            )
+
+    @classmethod
+    def with_default_duration(
+        cls,
+        database_id: str,
+        kind: MaintenanceKind,
+        window_start: int,
+        deadline: int,
+    ) -> "MaintenanceOperation":
+        return cls(
+            database_id=database_id,
+            kind=kind,
+            window_start=window_start,
+            deadline=deadline,
+            duration_s=DEFAULT_DURATIONS[kind],
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """A scheduler's placement decision."""
+
+    operation: MaintenanceOperation
+    start: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.operation.duration_s

@@ -1,0 +1,109 @@
+"""One-call region digest: the full operator report for a fleet.
+
+``region_digest`` runs every policy over the same fleet and window and
+returns one plain-text report combining:
+
+* the policy comparison (provisioned / reactive / proactive / optimal),
+* the proactive policy's idle breakdown and billing efficiency,
+* the per-archetype KPI drill-down,
+* the hourly monitoring dashboard (sparklines from telemetry).
+
+This is the "show me everything" entry point a downstream operator wants
+before digging into individual modules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.analysis.archetype_report import archetype_breakdown, format_breakdown
+from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.core.billing import billing_report
+from repro.simulation.region import (
+    RegionSimulationResult,
+    SimulationSettings,
+    simulate_region,
+)
+from repro.telemetry import TelemetryStore, emit_simulation_telemetry
+from repro.telemetry.monitoring import kpi_rollup, render_dashboard
+from repro.types import ActivityTrace, SECONDS_PER_HOUR
+
+POLICY_ORDER = ("provisioned", "reactive", "proactive", "optimal")
+
+
+def region_digest(
+    traces: Sequence[ActivityTrace],
+    settings: SimulationSettings,
+    config: ProRPConfig = DEFAULT_CONFIG,
+    title: str = "Region digest",
+    dashboard_bucket_s: int = SECONDS_PER_HOUR,
+) -> str:
+    """Run the four policies and render the combined report."""
+    results = {
+        policy: simulate_region(traces, policy, config, settings)
+        for policy in POLICY_ORDER
+    }
+    sections: List[str] = [_policy_comparison(results, title)]
+    sections.append(_proactive_detail(results["proactive"]))
+    sections.append(
+        format_breakdown(
+            archetype_breakdown(results["proactive"].outcomes),
+            title="Proactive policy by usage archetype",
+        )
+    )
+    sections.append(_dashboard(results["proactive"], traces, dashboard_bucket_s))
+    return "\n\n".join(sections)
+
+
+def _policy_comparison(results, title: str) -> str:
+    rows = []
+    for policy in POLICY_ORDER:
+        kpis = results[policy].kpis()
+        billing = billing_report(kpis)
+        rows.append(
+            [
+                policy,
+                round(kpis.qos_percent, 1),
+                round(kpis.idle_percent, 2),
+                round(kpis.unavailable_percent, 3),
+                round(billing.allocation_efficiency, 3),
+            ]
+        )
+    return format_table(
+        ["policy", "QoS %", "idle %", "unavailable %", "alloc efficiency"],
+        rows,
+        title=title,
+    )
+
+
+def _proactive_detail(result: RegionSimulationResult) -> str:
+    kpis = result.kpis()
+    workflows = kpis.workflows
+    rows = [
+        ["logical pause idle %", round(kpis.idle_logical_pause_percent, 2)],
+        ["correct pre-warm idle %", round(kpis.idle_correct_proactive_percent, 2)],
+        ["wrong pre-warm idle %", round(kpis.idle_wrong_proactive_percent, 2)],
+        ["proactive resumes", workflows.proactive_resumes],
+        ["  correct / wrong", f"{workflows.correct_proactive_resumes} / "
+                              f"{workflows.wrong_proactive_resumes}"],
+        ["reactive resumes", workflows.reactive_resumes],
+        ["physical pauses", workflows.physical_pauses],
+        ["cluster moves", result.cluster_moves],
+    ]
+    return format_table(
+        ["proactive policy detail", "value"], rows, title="Proactive breakdown"
+    )
+
+
+def _dashboard(
+    result: RegionSimulationResult,
+    traces: Sequence[ActivityTrace],
+    bucket_s: int,
+) -> str:
+    store = TelemetryStore()
+    emit_simulation_telemetry(result, traces, store)
+    rollups = kpi_rollup(
+        store, result.settings.eval_start, result.settings.eval_end, bucket_s
+    )
+    return render_dashboard(rollups, title="Proactive policy, per bucket")

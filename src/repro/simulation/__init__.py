@@ -1,0 +1,29 @@
+"""Discrete-event simulation of a region of serverless databases.
+
+* :mod:`repro.simulation.engine` -- the event queue (priority heap with
+  stable ordering and cancellable timers).  Events are plain callables, so
+  there is no separate event-type module.
+* :mod:`repro.simulation.actor` -- the per-database policy executors: the
+  reactive baseline and the proactive policy of Algorithm 1, driven by
+  session start/end events from a workload trace.
+* :mod:`repro.simulation.region` -- the region simulator: wires actors,
+  the cluster, the metadata store, and the proactive resume operation
+  (Algorithm 5) together and produces KPI reports.
+* :mod:`repro.simulation.results` -- accounting of logins, idle time,
+  workflow counts, and timelines.
+"""
+
+from repro.simulation.engine import EventQueue, Timer
+from repro.simulation.region import (
+    RegionSimulationResult,
+    SimulationSettings,
+    simulate_region,
+)
+
+__all__ = [
+    "EventQueue",
+    "Timer",
+    "simulate_region",
+    "SimulationSettings",
+    "RegionSimulationResult",
+]

@@ -1,0 +1,89 @@
+"""A minimal, deterministic discrete-event engine.
+
+Events are callables scheduled at integer timestamps; ties are broken by
+insertion order so simulations are reproducible.  Timers can be cancelled
+(lazily: cancelled entries are skipped when popped), which the policy actors
+use to drop a pending logical-pause wake-up when the customer logs in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Action = Callable[[int], None]
+
+
+class Timer:
+    """Handle for a scheduled event; ``cancel()`` prevents execution."""
+
+    __slots__ = ("time", "_cancelled")
+
+    def __init__(self, time: int):
+        self.time = time
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class EventQueue:
+    """Priority queue of timed actions with a monotonic clock."""
+
+    def __init__(self, start: int = 0):
+        self._now = start
+        self._heap: List[Tuple[int, int, Timer, Action]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for _, __, timer, ___ in self._heap if not timer.cancelled)
+
+    def schedule(self, time: int, action: Action) -> Timer:
+        """Schedule ``action(time)``; returns a cancellable handle."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before now={self._now}"
+            )
+        timer = Timer(time)
+        heapq.heappush(self._heap, (time, next(self._sequence), timer, action))
+        return timer
+
+    def schedule_after(self, delay: int, action: Action) -> Timer:
+        return self.schedule(self._now + delay, action)
+
+    def run_until(self, end: int) -> int:
+        """Process every event with time <= ``end``; returns the number of
+        events executed.  The clock finishes at ``end``."""
+        executed = 0
+        while self._heap and self._heap[0][0] <= end:
+            time, _, timer, action = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = time
+            action(time)
+            executed += 1
+        self._now = max(self._now, end)
+        return executed
+
+    def run_all(self) -> int:
+        """Process every remaining event."""
+        executed = 0
+        while self._heap:
+            time, _, timer, action = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = time
+            action(time)
+            executed += 1
+        return executed

@@ -1,0 +1,375 @@
+"""Region-level simulation: a fleet of serverless databases under one
+resource allocation policy.
+
+``simulate_region`` replays every database's activity trace through the
+chosen policy (reactive baseline, proactive Algorithm 1, or the clairvoyant
+optimum), shares one cluster and one metadata store across the fleet, runs
+the periodic proactive resume operation (Algorithm 5), and aggregates the
+KPI metrics of Section 8.
+
+A warm-up lead (default one day) precedes the evaluation window so the
+lifecycle states settle before anything is measured; history older than the
+warm-up is bulk-loaded into each database's history store, mirroring a
+fleet that has been running for weeks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster import Cluster
+from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.core.fast_predictor import FastPredictor
+from repro.core.kpi import KpiReport
+from repro.core.policy import PolicyKind
+from repro.core.resume_service import IterationRecord, ProactiveResumeOperation
+from repro.errors import SimulationError
+from repro.simulation.actor import ProactiveActor, ReactiveActor, _BaseActor
+from repro.simulation.engine import EventQueue
+from repro.simulation.results import (
+    DatabaseOutcome,
+    aggregate,
+    bucket_event_times,
+)
+from repro.storage.history import HistoryStore
+from repro.storage.metadata import MetadataStore
+from repro.types import ActivityTrace, HistoryEvent, Session, SECONDS_PER_DAY
+from repro.workload.archetypes import maintenance_sessions
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """Non-policy knobs of the simulation environment."""
+
+    eval_start: int
+    eval_end: int
+    #: Settling time before the evaluation window (states converge).
+    warmup_s: int = SECONDS_PER_DAY
+    #: Cluster shape; capacity is per node.
+    n_nodes: int = 8
+    node_capacity: int = 64
+    resume_latency_s: int = 45
+    resume_latency_jitter_s: int = 15
+    move_latency_s: int = 180
+    seed: int = 0
+    #: Use the vectorised predictor (reference predictor when False).
+    use_fast_predictor: bool = True
+    #: System maintenance operations per database per week (Section 3.3);
+    #: 0 disables them.  They hold/resume resources but are excluded from
+    #: history, predictions, and the customer KPIs.
+    maintenance_per_week: float = 0.0
+    #: Time the reference predictor per call (Figure 10(c)); forces the
+    #: reference implementation.
+    measure_prediction_latency: bool = False
+    #: Keep per-database allocation timelines (examples / plots).
+    collect_timelines: bool = False
+    #: Record every prediction (time, start, end, confidence) for offline
+    #: accuracy evaluation (repro.core.accuracy).
+    collect_predictions: bool = False
+    #: Intervals [(start, end), ...] during which the ProRP components
+    #: (prediction + proactive resume operation) are down.  Section 3.2:
+    #: "If any component of ProRP goes down, the system must default to
+    #: the reactive policy until the failed component comes up."
+    prorp_outages: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.eval_end <= self.eval_start:
+            raise SimulationError("eval_end must be after eval_start")
+        if self.warmup_s < 0:
+            raise SimulationError("warmup_s must be non-negative")
+        if self.maintenance_per_week < 0:
+            raise SimulationError("maintenance_per_week must be non-negative")
+        for outage in self.prorp_outages:
+            start, end = outage
+            if end <= start:
+                raise SimulationError(f"outage {outage} must have end > start")
+
+    @property
+    def sim_start(self) -> int:
+        return self.eval_start - self.warmup_s
+
+
+@dataclass
+class RegionSimulationResult:
+    """Everything a figure driver needs from one simulation run."""
+
+    policy: str
+    settings: SimulationSettings
+    config: ProRPConfig
+    outcomes: List[DatabaseOutcome]
+    resume_iterations: List[IterationRecord] = field(default_factory=list)
+    #: Per-database history stores after the run (Figure 10(a-b)).
+    histories: Dict[str, HistoryStore] = field(default_factory=dict)
+    cluster_moves: int = 0
+
+    def kpis(self) -> KpiReport:
+        return aggregate(
+            self.policy,
+            self.outcomes,
+            self.settings.eval_start,
+            self.settings.eval_end,
+        )
+
+    # -- Figure 11/12 helpers --------------------------------------------
+
+    def prewarm_batch_sizes(self) -> List[int]:
+        """Databases pre-warmed per resume-operation iteration, within the
+        evaluation window (Figure 11's gray boxes)."""
+        return [
+            record.batch_size
+            for record in self.resume_iterations
+            if self.settings.eval_start <= record.time < self.settings.eval_end
+        ]
+
+    def workflow_counts_per_interval(self, kind: str, bucket_s: int) -> List[int]:
+        """Workflow events per ``bucket_s`` interval (Figures 11-12)."""
+        times: List[int] = []
+        for outcome in self.outcomes:
+            if kind == "physical_pause":
+                times.extend(outcome.physical_pause_times)
+            elif kind == "reactive_resume":
+                times.extend(outcome.reactive_resume_times)
+            elif kind == "proactive_resume":
+                times.extend(outcome.proactive_resume_times)
+            elif kind == "logical_pause":
+                times.extend(outcome.logical_pause_times)
+            else:
+                raise ValueError(f"unknown workflow kind {kind!r}")
+        return bucket_event_times(
+            times, self.settings.eval_start, self.settings.eval_end, bucket_s
+        )
+
+
+def _warm_history(trace: ActivityTrace, sim_start: int, history_days: int) -> HistoryStore:
+    """Bulk-load the history a long-running tracker would have accumulated
+    by ``sim_start``: everything within the retention window plus the
+    oldest event as the lifespan witness (Algorithm 3 keeps it)."""
+    store = HistoryStore()
+    retention_start = sim_start - history_days * SECONDS_PER_DAY
+    events: List[HistoryEvent] = []
+    all_events = [e for e in trace.events() if e.time_snapshot < sim_start]
+    if all_events:
+        witness = all_events[0]
+        events.append(witness)
+        events.extend(
+            e
+            for e in all_events[1:]
+            if e.time_snapshot >= retention_start
+        )
+    store.bulk_load(events)
+    return store
+
+
+def simulate_region(
+    traces: Sequence[ActivityTrace],
+    policy: Union[PolicyKind, str] = PolicyKind.PROACTIVE,
+    config: ProRPConfig = DEFAULT_CONFIG,
+    settings: Optional[SimulationSettings] = None,
+) -> RegionSimulationResult:
+    """Simulate a region of serverless databases under one policy.
+
+    ``settings`` defaults to: evaluate the final 4 days of the traces with a
+    1-day warm-up (the Figure 7 shape).
+    """
+    if isinstance(policy, str):
+        policy = PolicyKind(policy)
+    if not traces:
+        raise SimulationError("simulate_region needs at least one trace")
+    if settings is None:
+        span_end = max(trace.span[1] for trace in traces)
+        settings = SimulationSettings(
+            eval_start=span_end - 4 * SECONDS_PER_DAY,
+            eval_end=span_end,
+        )
+    if policy is PolicyKind.OPTIMAL:
+        return _simulate_optimal(traces, config, settings)
+    if policy is PolicyKind.PROVISIONED:
+        return _simulate_provisioned(traces, config, settings)
+
+    queue = EventQueue(start=settings.sim_start)
+    cluster = Cluster(
+        n_nodes=settings.n_nodes,
+        node_capacity=settings.node_capacity,
+        resume_latency_s=settings.resume_latency_s,
+        resume_latency_jitter_s=settings.resume_latency_jitter_s,
+        move_latency_s=settings.move_latency_s,
+        seed=settings.seed,
+    )
+    metadata = MetadataStore()
+    outcomes: List[DatabaseOutcome] = []
+    actors: Dict[str, _BaseActor] = {}
+    histories: Dict[str, HistoryStore] = {}
+    fast_predictor = (
+        FastPredictor(config)
+        if policy is PolicyKind.PROACTIVE
+        and settings.use_fast_predictor
+        and not settings.measure_prediction_latency
+        else None
+    )
+
+    for trace in traces:
+        outcome = DatabaseOutcome(
+            trace.database_id,
+            settings.eval_start,
+            settings.eval_end,
+            collect_timeline=settings.collect_timelines,
+        )
+        outcomes.append(outcome)
+        maintenance: List[Session] = []
+        if settings.maintenance_per_week > 0:
+            maintenance = maintenance_sessions(
+                settings.sim_start,
+                settings.eval_end,
+                random.Random(f"{settings.seed}:maint:{trace.database_id}"),
+                per_week=settings.maintenance_per_week,
+            )
+        if policy is PolicyKind.PROACTIVE:
+            history = _warm_history(trace, settings.sim_start, config.history_days)
+            histories[trace.database_id] = history
+            actor: _BaseActor = ProactiveActor(
+                trace,
+                queue,
+                cluster,
+                metadata,
+                outcome,
+                config,
+                settings.sim_start,
+                settings.eval_end,
+                history=history,
+                fast_predictor=fast_predictor,
+                measure_prediction_latency=settings.measure_prediction_latency,
+                maintenance=maintenance,
+                collect_predictions=settings.collect_predictions,
+                prorp_outages=settings.prorp_outages,
+            )
+        else:
+            actor = ReactiveActor(
+                trace,
+                queue,
+                cluster,
+                metadata,
+                outcome,
+                config,
+                settings.sim_start,
+                settings.eval_end,
+                maintenance=maintenance,
+            )
+        actors[trace.database_id] = actor
+
+    for actor in actors.values():
+        actor.start()
+
+    resume_operation: Optional[ProactiveResumeOperation] = None
+    if policy is PolicyKind.PROACTIVE:
+        resume_operation = ProactiveResumeOperation(
+            metadata,
+            prewarm_s=config.prewarm_s,
+            period_s=config.resume_operation_period_s,
+            on_prewarm=lambda db_id, now: actors[db_id].prewarm(now),
+        )
+
+        def run_resume_operation(now: int) -> None:
+            # Section 3.2: a downed ProRP skips its iterations entirely;
+            # the fleet falls back to reactive resumes until recovery.
+            if not any(start <= now < end for start, end in settings.prorp_outages):
+                resume_operation.run_once(now)
+            nxt = now + config.resume_operation_period_s
+            if nxt < settings.eval_end:
+                queue.schedule(nxt, run_resume_operation)
+
+        queue.schedule(
+            settings.sim_start + config.resume_operation_period_s,
+            run_resume_operation,
+        )
+
+    queue.run_until(settings.eval_end)
+    for actor in actors.values():
+        actor.finalize(settings.eval_end)
+
+    return RegionSimulationResult(
+        policy=policy.value,
+        settings=settings,
+        config=config,
+        outcomes=outcomes,
+        resume_iterations=resume_operation.iterations if resume_operation else [],
+        histories=histories,
+        cluster_moves=cluster.moves,
+    )
+
+
+def _simulate_optimal(
+    traces: Sequence[ActivityTrace],
+    config: ProRPConfig,
+    settings: SimulationSettings,
+) -> RegionSimulationResult:
+    """The clairvoyant optimum of Figure 2(c): A(d, t) = D(d, t).
+
+    Computed analytically: every login is served, resources are never idle
+    nor unavailable, and used time equals demanded time."""
+    outcomes: List[DatabaseOutcome] = []
+    for trace in traces:
+        outcome = DatabaseOutcome(
+            trace.database_id,
+            settings.eval_start,
+            settings.eval_end,
+            collect_timeline=settings.collect_timelines,
+        )
+        for session in trace.sessions:
+            if session.end > settings.eval_start and session.start < settings.eval_end:
+                outcome.add_used(session.start, session.end)
+            if settings.eval_start <= session.start < settings.eval_end:
+                outcome.record_login(session.start, served=True)
+        outcomes.append(outcome)
+    return RegionSimulationResult(
+        policy=PolicyKind.OPTIMAL.value,
+        settings=settings,
+        config=config,
+        outcomes=outcomes,
+    )
+
+
+def _simulate_provisioned(
+    traces: Sequence[ActivityTrace],
+    config: ProRPConfig,
+    settings: SimulationSettings,
+) -> RegionSimulationResult:
+    """Fixed-size provisioning (Section 1's pre-serverless baseline):
+    A(d, t) = 1 always.  Every login is served instantly; every idle second
+    is paid for.  Computed analytically -- the allocation never changes,
+    so there is nothing to simulate.
+
+    The idle time is booked as "logical pause" for lack of a finer cause:
+    it is the same D=0, A=1 quadrant of Definition 2.2.
+    """
+    outcomes: List[DatabaseOutcome] = []
+    for trace in traces:
+        outcome = DatabaseOutcome(
+            trace.database_id,
+            settings.eval_start,
+            settings.eval_end,
+            collect_timeline=settings.collect_timelines,
+        )
+        cursor = settings.eval_start
+        for session in trace.sessions:
+            if session.end <= settings.eval_start:
+                continue
+            if session.start >= settings.eval_end:
+                break
+            start = max(session.start, settings.eval_start)
+            if start > cursor:
+                outcome.add_idle(cursor, start, "logical_pause")
+            outcome.add_used(session.start, session.end)
+            cursor = min(session.end, settings.eval_end)
+            if settings.eval_start <= session.start < settings.eval_end:
+                outcome.record_login(session.start, served=True)
+        if cursor < settings.eval_end:
+            outcome.add_idle(cursor, settings.eval_end, "logical_pause")
+        outcomes.append(outcome)
+    return RegionSimulationResult(
+        policy=PolicyKind.PROVISIONED.value,
+        settings=settings,
+        config=config,
+        outcomes=outcomes,
+    )

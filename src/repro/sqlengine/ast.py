@@ -1,0 +1,155 @@
+"""Typed AST for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int, float, str, or None
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # '=', '<>', '<', '<=', '>', '>=', '+', '-', '*', '/', 'AND', 'OR'
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # 'NOT', '-'
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expression"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: "Expression"
+    low: "Expression"
+    high: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expression"
+    items: Tuple["Expression", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    func: str  # 'MIN', 'MAX', 'COUNT'
+    argument: Optional["Expression"]  # None for COUNT(*)
+
+
+Expression = Union[
+    Literal, Param, ColumnRef, BinaryOp, UnaryOp, IsNull, Between, InList, Aggregate
+]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: Optional[str] = None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    table: Optional[str]
+    where: Optional[Expression] = None
+    group_by: Optional[str] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Assignment, ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str  # BIGINT, INT, FLOAT, TEXT
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: Tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN <statement>: return the planner's decision as rows."""
+
+    statement: "Statement"
+
+
+Statement = Union[Select, Insert, Delete, Update, CreateTable, CreateIndex, Explain]

@@ -1,0 +1,487 @@
+"""Executor: evaluates planned statements against a storage Database.
+
+Implements SQL NULL semantics where they matter for the paper's procedures:
+aggregates over an empty set return NULL (Algorithm 4 line 25 tests
+``IF @firstLogin IS NOT NULL``), comparisons involving NULL are not true,
+and COUNT(*) of an empty set is 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import SqlBindingError, SqlExecutionError
+from repro.sqlengine import ast
+from repro.sqlengine.planner import ScanPlan, plan_scan
+from repro.storage.database import Database
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+
+Row = Dict[str, Any]
+Params = Dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expression: ast.Expression, row: Optional[Row], params: Params) -> Any:
+    """Evaluate an expression against one row (row may be None for
+    constant expressions such as index bounds or INSERT values)."""
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Param):
+        if expression.name not in params:
+            raise SqlBindingError(f"unbound parameter @{expression.name}")
+        return params[expression.name]
+    if isinstance(expression, ast.ColumnRef):
+        if row is None:
+            raise SqlExecutionError(
+                f"column {expression.name!r} referenced in a row-free context"
+            )
+        if expression.name not in row:
+            raise SqlExecutionError(f"unknown column {expression.name!r}")
+        return row[expression.name]
+    if isinstance(expression, ast.UnaryOp):
+        value = evaluate(expression.operand, row, params)
+        if expression.op == "NOT":
+            if value is None:
+                return None
+            return not _truthy(value)
+        if value is None:
+            return None
+        return -value
+    if isinstance(expression, ast.IsNull):
+        value = evaluate(expression.operand, row, params)
+        return (value is not None) if expression.negated else (value is None)
+    if isinstance(expression, ast.Between):
+        value = evaluate(expression.operand, row, params)
+        low = evaluate(expression.low, row, params)
+        high = evaluate(expression.high, row, params)
+        if value is None or low is None or high is None:
+            return None
+        _check_comparable(value, low)
+        _check_comparable(value, high)
+        inside = low <= value <= high
+        return not inside if expression.negated else inside
+    if isinstance(expression, ast.InList):
+        value = evaluate(expression.operand, row, params)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expression.items:
+            candidate = evaluate(item, row, params)
+            if candidate is None:
+                saw_null = True
+                continue
+            _check_comparable(value, candidate)
+            if value == candidate:
+                return not expression.negated
+        if saw_null:
+            return None  # SQL three-valued IN semantics
+        return expression.negated
+    if isinstance(expression, ast.BinaryOp):
+        return _evaluate_binary(expression, row, params)
+    if isinstance(expression, ast.Aggregate):
+        raise SqlExecutionError(
+            f"aggregate {expression.func} outside a SELECT item list"
+        )
+    raise SqlExecutionError(f"cannot evaluate {expression!r}")
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+def _evaluate_binary(expression: ast.BinaryOp, row: Optional[Row], params: Params) -> Any:
+    op = expression.op
+    if op == "AND":
+        left = evaluate(expression.left, row, params)
+        if left is not None and not _truthy(left):
+            return False
+        right = evaluate(expression.right, row, params)
+        if right is not None and not _truthy(right):
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = evaluate(expression.left, row, params)
+        if left is not None and _truthy(left):
+            return True
+        right = evaluate(expression.right, row, params)
+        if right is not None and _truthy(right):
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = evaluate(expression.left, row, params)
+    right = evaluate(expression.right, row, params)
+    if left is None or right is None:
+        return None
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        _check_comparable(left, right)
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    _check_numeric(left, op)
+    _check_numeric(right, op)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SqlExecutionError("division by zero")
+        # Integer division stays integral, matching T-SQL's BIGINT math in
+        # the paper's procedures (@h*24*60*60 etc.).
+        if isinstance(left, int) and isinstance(right, int):
+            quotient = left // right
+            # T-SQL truncates toward zero.
+            if quotient < 0 and left % right != 0:
+                quotient += 1
+            return quotient
+        return left / right
+    raise SqlExecutionError(f"unsupported operator {op!r}")
+
+
+def _check_comparable(left: Any, right: Any) -> None:
+    numeric = (int, float)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return
+    if isinstance(left, str) and isinstance(right, str):
+        return
+    raise SqlExecutionError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}"
+    )
+
+
+def _check_numeric(value: Any, op: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SqlExecutionError(f"operator {op!r} requires numeric operands")
+
+
+# ---------------------------------------------------------------------------
+# Statement execution
+# ---------------------------------------------------------------------------
+
+
+class Executor:
+    """Executes parsed statements against a :class:`Database`."""
+
+    def __init__(self, database: Database):
+        self._database = database
+
+    # -- scans ----------------------------------------------------------
+
+    def _rows_for_plan(self, plan: ScanPlan, params: Params) -> Iterator[Row]:
+        table = self._database.table(plan.table)
+        if plan.kind == "full":
+            rows: Iterable[Row] = table.scan()
+        else:
+            lo = hi = None
+            include_lo = include_hi = True
+            if plan.lower is not None:
+                lo = evaluate(plan.lower.expression, None, params)
+                include_lo = plan.lower.inclusive
+            if plan.upper is not None:
+                hi = evaluate(plan.upper.expression, None, params)
+                include_hi = plan.upper.inclusive
+            if plan.kind == "clustered":
+                rows = table.key_range(lo, hi, include_lo, include_hi)
+            else:
+                rows = self._secondary_rows(
+                    table, plan.index_column, lo, hi, include_lo, include_hi
+                )
+        if plan.residual is None:
+            yield from rows
+            return
+        for row in rows:
+            if evaluate(plan.residual, row, params) is True:
+                yield row
+
+    @staticmethod
+    def _secondary_rows(
+        table: Table,
+        column: str,
+        lo: Any,
+        hi: Any,
+        include_lo: bool,
+        include_hi: bool,
+    ) -> Iterator[Row]:
+        # The secondary index API is inclusive; strict bounds become a
+        # post-filter on the indexed value.
+        for row in table.secondary_range(column, lo, hi):
+            value = row[column]
+            if not include_lo and lo is not None and value == lo:
+                continue
+            if not include_hi and hi is not None and value == hi:
+                continue
+            yield row
+
+    def _plan(self, table_name: str, where: Optional[ast.Expression]) -> ScanPlan:
+        table = self._database.table(table_name)
+        secondary = [
+            c for c in table.indexed_columns if c != table.schema.primary_key
+        ]
+        return plan_scan(table_name, where, table.schema.primary_key, secondary)
+
+    # -- SELECT ----------------------------------------------------------
+
+    def select(self, statement: ast.Select, params: Params) -> List[Row]:
+        if statement.table is None:
+            return [self._project_row(statement.items, None, params, index=0)]
+        plan = self._plan(statement.table, statement.where)
+        rows = self._rows_for_plan(plan, params)
+        if statement.group_by is not None:
+            out = self._grouped(statement, rows, params)
+        elif _has_aggregates(statement.items):
+            return [self._aggregate(statement.items, rows, params)]
+        else:
+            out = [
+                self._project_row(statement.items, row, params, index=i)
+                for i, row in enumerate(rows)
+            ]
+        for order in reversed(statement.order_by):
+            out.sort(
+                key=lambda r: _null_safe_key(r[order.column]),
+                reverse=order.descending,
+            )
+        if statement.limit is not None:
+            out = out[: statement.limit]
+        return out
+
+    def _grouped(
+        self, statement: ast.Select, rows: Iterator[Row], params: Params
+    ) -> List[Row]:
+        """GROUP BY one column: each item must be that column or an
+        aggregate; groups come out in first-seen order (re-orderable with
+        ORDER BY)."""
+        key = statement.group_by
+        for item in statement.items:
+            if item.star:
+                raise SqlExecutionError("SELECT * is not valid with GROUP BY")
+            expression = item.expression
+            is_key = isinstance(expression, ast.ColumnRef) and expression.name == key
+            if not is_key and not isinstance(expression, ast.Aggregate):
+                raise SqlExecutionError(
+                    f"non-aggregated column in GROUP BY query: {expression!r}"
+                )
+        groups: Dict[Any, List[Row]] = {}
+        for row in rows:
+            if key not in row:
+                raise SqlExecutionError(f"unknown GROUP BY column {key!r}")
+            groups.setdefault(row[key], []).append(row)
+        out: List[Row] = []
+        for value, members in groups.items():
+            projected: Row = {}
+            for i, item in enumerate(statement.items):
+                expression = item.expression
+                if isinstance(expression, ast.ColumnRef):
+                    projected[item.alias or key] = value
+                else:
+                    aggregated = self._aggregate(
+                        [ast.SelectItem(expression, item.alias)],
+                        iter(members),
+                        params,
+                    )
+                    projected.update(aggregated)
+            out.append(projected)
+        return out
+
+    def _project_row(
+        self,
+        items: Iterable[ast.SelectItem],
+        row: Optional[Row],
+        params: Params,
+        index: int,
+    ) -> Row:
+        projected: Row = {}
+        for i, item in enumerate(items):
+            if item.star:
+                if row is None:
+                    raise SqlExecutionError("SELECT * requires a table")
+                projected.update(row)
+                continue
+            name = item.alias or _default_name(item.expression, i)
+            projected[name] = evaluate(item.expression, row, params)
+        return projected
+
+    def _aggregate(
+        self, items: Iterable[ast.SelectItem], rows: Iterator[Row], params: Params
+    ) -> Row:
+        materialized = list(rows)
+        out: Row = {}
+        for i, item in enumerate(items):
+            if item.star or not isinstance(item.expression, ast.Aggregate):
+                raise SqlExecutionError(
+                    "cannot mix aggregates with plain columns (no GROUP BY support)"
+                )
+            aggregate = item.expression
+            name = item.alias or aggregate.func.lower()
+            if aggregate.func == "COUNT":
+                if aggregate.argument is None:
+                    out[name] = len(materialized)
+                else:
+                    out[name] = sum(
+                        1
+                        for row in materialized
+                        if evaluate(aggregate.argument, row, params) is not None
+                    )
+                continue
+            values = [
+                value
+                for row in materialized
+                if (value := evaluate(aggregate.argument, row, params)) is not None
+            ]
+            if not values:
+                out[name] = None
+            elif aggregate.func == "MIN":
+                out[name] = min(values)
+            else:
+                out[name] = max(values)
+        return out
+
+    # -- INSERT / DELETE / UPDATE / CREATE --------------------------------
+
+    def insert(self, statement: ast.Insert, params: Params) -> int:
+        table = self._database.table(statement.table)
+        row = {
+            column: evaluate(value, None, params)
+            for column, value in zip(statement.columns, statement.values)
+        }
+        table.insert(row)
+        return 1
+
+    def delete(self, statement: ast.Delete, params: Params) -> int:
+        table = self._database.table(statement.table)
+        plan = self._plan(statement.table, statement.where)
+        doomed = [
+            row[table.schema.primary_key]
+            for row in self._rows_for_plan(plan, params)
+        ]
+        for pk in doomed:
+            table.delete_by_key(pk)
+        return len(doomed)
+
+    def update(self, statement: ast.Update, params: Params) -> int:
+        table = self._database.table(statement.table)
+        plan = self._plan(statement.table, statement.where)
+        matched = list(self._rows_for_plan(plan, params))
+        count = 0
+        for row in matched:
+            changes = {
+                assignment.column: evaluate(assignment.value, row, params)
+                for assignment in statement.assignments
+            }
+            pk = row[table.schema.primary_key]
+            if table.update_by_key(pk, changes):
+                count += 1
+        return count
+
+    def create_table(self, statement: ast.CreateTable) -> int:
+        primary_keys = [c.name for c in statement.columns if c.primary_key]
+        if len(primary_keys) != 1:
+            raise SqlExecutionError(
+                f"CREATE TABLE {statement.table!r} needs exactly one PRIMARY KEY "
+                f"column, got {len(primary_keys)}"
+            )
+        columns = tuple(
+            Column(
+                definition.name,
+                ColumnType[definition.type_name],
+                nullable=not (definition.not_null or definition.primary_key),
+            )
+            for definition in statement.columns
+        )
+        schema = TableSchema(statement.table, columns, primary_keys[0])
+        self._database.create_table(schema)
+        return 0
+
+    def create_index(self, statement: ast.CreateIndex) -> int:
+        self._database.table(statement.table).create_index(statement.column)
+        return 0
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    def explain(self, statement: ast.Statement) -> List[Row]:
+        """Describe the access path the planner chose, without executing.
+
+        One row per plan: statement kind, scan kind (clustered / secondary /
+        full), the index column, which bounds exist (and their
+        inclusivity), and whether a residual filter remains.
+        """
+        if isinstance(statement, ast.Select):
+            kind, table, where = "SELECT", statement.table, statement.where
+        elif isinstance(statement, ast.Delete):
+            kind, table, where = "DELETE", statement.table, statement.where
+        elif isinstance(statement, ast.Update):
+            kind, table, where = "UPDATE", statement.table, statement.where
+        else:
+            raise SqlExecutionError(
+                f"EXPLAIN does not support {type(statement).__name__}"
+            )
+        if table is None:
+            return [{"statement": kind, "scan": "constant", "table": None,
+                     "index_column": None, "bounds": "", "residual": False}]
+        plan = self._plan(table, where)
+        bounds = []
+        if plan.lower is not None:
+            bounds.append(">=" if plan.lower.inclusive else ">")
+        if plan.upper is not None:
+            bounds.append("<=" if plan.upper.inclusive else "<")
+        return [
+            {
+                "statement": kind,
+                "scan": plan.kind,
+                "table": table,
+                "index_column": plan.index_column,
+                "bounds": " ".join(bounds),
+                "residual": plan.residual is not None,
+            }
+        ]
+
+
+def _has_aggregates(items: Iterable[ast.SelectItem]) -> bool:
+    return any(isinstance(item.expression, ast.Aggregate) for item in items)
+
+
+def _default_name(expression: ast.Expression, index: int) -> str:
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.Aggregate):
+        return expression.func.lower()
+    return f"column_{index}"
+
+
+class _NullLow:
+    """NULLs sort first, as in SQL Server ORDER BY."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return not isinstance(other, _NullLow)
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _NullLow)
+
+
+_NULL_LOW = _NullLow()
+
+
+def _null_safe_key(value: Any) -> Any:
+    return _NULL_LOW if value is None else value

@@ -1,0 +1,148 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the parser.  Identifiers may be dotted
+(``sys.pause_resume_history``) because the paper's table names are
+schema-qualified; parameters use the T-SQL ``@name`` form matching the
+stored procedures of Algorithms 2-4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    PARAM = "param"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (case-insensitive).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO",
+        "VALUES", "DELETE", "UPDATE", "SET", "CREATE", "TABLE", "PRIMARY",
+        "KEY", "ORDER", "BY", "ASC", "DESC", "LIMIT", "AS", "NULL", "IS",
+        "EXISTS", "MIN", "MAX", "COUNT", "BIGINT", "INT", "FLOAT", "TEXT",
+        "INDEX", "ON", "BETWEEN", "IN", "EXPLAIN", "GROUP",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):  # line comment
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            yield _string_token(sql, i)
+            i = _string_end(sql, i)
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SqlSyntaxError("empty parameter name after '@'", i)
+            yield Token(TokenType.PARAM, sql[i + 1 : j], i)
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # A dot not followed by a digit belongs to an identifier
+                    # chain, not this number.
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = sql[i:j]
+            token_type = TokenType.FLOAT if "." in text else TokenType.INTEGER
+            yield Token(token_type, text, i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] in "_."):
+                j += 1
+            text = sql[i:j]
+            upper = text.upper()
+            if upper in KEYWORDS and "." not in text:
+                yield Token(TokenType.KEYWORD, upper, i)
+            else:
+                yield Token(TokenType.IDENTIFIER, text, i)
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, i)
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, "", n)
+
+
+def _string_end(sql: str, start: int) -> int:
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        if sql[i] == "'":
+            if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                i += 2
+                continue
+            return i + 1
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _string_token(sql: str, start: int) -> Token:
+    end = _string_end(sql, start)
+    body = sql[start + 1 : end - 1].replace("''", "'")
+    return Token(TokenType.STRING, body, start)

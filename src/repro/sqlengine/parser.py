@@ -1,0 +1,373 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (informal)::
+
+    statement   := select | insert | delete | update | create_table
+                 | create_index | explain
+    select      := SELECT items FROM table [WHERE expr] [GROUP BY col]
+                   [ORDER BY col [ASC|DESC] {, ...}] [LIMIT n]
+    items       := '*' | item {',' item}
+    item        := expr [AS alias]
+    insert      := INSERT INTO table '(' cols ')' VALUES '(' exprs ')'
+    delete      := DELETE FROM table [WHERE expr]
+    update      := UPDATE table SET col '=' expr {',' ...} [WHERE expr]
+    create_table:= CREATE TABLE table '(' coldef {',' coldef} ')'
+    coldef      := name type [PRIMARY KEY] [NOT NULL]
+    create_index:= CREATE INDEX ON table '(' col ')'
+    explain     := EXPLAIN (select | delete | update)
+
+Expressions support AND/OR/NOT, comparisons, + - * /, parentheses,
+``IS [NOT] NULL``, ``[NOT] BETWEEN a AND b``, ``[NOT] IN (list)``, the
+aggregates MIN/MAX/COUNT, literals, ``@params``, and column references.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine import ast
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: Optional[str] = None) -> bool:
+        return self._current.matches(token_type, value)
+
+    def _accept(self, token_type: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
+        if not self._check(token_type, value):
+            want = value or token_type.value
+            got = self._current.value or self._current.type.value
+            raise SqlSyntaxError(
+                f"expected {want!r}, got {got!r}", self._current.position
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._accept(TokenType.IDENTIFIER)
+        if token is None:
+            raise SqlSyntaxError(
+                f"expected identifier, got {self._current.value!r}",
+                self._current.position,
+            )
+        return token.value
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self._accept(TokenType.KEYWORD, "EXPLAIN"):
+            inner = self._parse_explainable()
+            self._expect(TokenType.EOF)
+            return ast.Explain(inner)
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            statement = self._parse_select()
+        elif self._check(TokenType.KEYWORD, "INSERT"):
+            statement = self._parse_insert()
+        elif self._check(TokenType.KEYWORD, "DELETE"):
+            statement = self._parse_delete()
+        elif self._check(TokenType.KEYWORD, "UPDATE"):
+            statement = self._parse_update()
+        elif self._check(TokenType.KEYWORD, "CREATE"):
+            statement = self._parse_create()
+        else:
+            raise SqlSyntaxError(
+                f"unsupported statement start {self._current.value!r}",
+                self._current.position,
+            )
+        self._expect(TokenType.EOF)
+        return statement
+
+    def _parse_explainable(self) -> ast.Statement:
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            return self._parse_select()
+        if self._check(TokenType.KEYWORD, "DELETE"):
+            return self._parse_delete()
+        if self._check(TokenType.KEYWORD, "UPDATE"):
+            return self._parse_update()
+        raise SqlSyntaxError(
+            "EXPLAIN supports SELECT, DELETE, and UPDATE",
+            self._current.position,
+        )
+
+    def _parse_select(self) -> ast.Select:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        items = self._parse_select_items()
+        table = None
+        if self._accept(TokenType.KEYWORD, "FROM"):
+            table = self._expect_identifier()
+        where = self._parse_optional_where()
+        group_by = None
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by = self._expect_identifier()
+        order_by: List[ast.OrderItem] = []
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            while True:
+                column = self._expect_identifier()
+                descending = False
+                if self._accept(TokenType.KEYWORD, "DESC"):
+                    descending = True
+                else:
+                    self._accept(TokenType.KEYWORD, "ASC")
+                order_by.append(ast.OrderItem(column, descending))
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+        limit = None
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            token = self._expect(TokenType.INTEGER)
+            limit = int(token.value)
+        return ast.Select(
+            tuple(items), table, where, group_by, tuple(order_by), limit
+        )
+
+    def _parse_select_items(self) -> List[ast.SelectItem]:
+        if self._accept(TokenType.OPERATOR, "*"):
+            return [ast.SelectItem(ast.Literal(None), star=True)]
+        items = []
+        while True:
+            expression = self._parse_expression()
+            alias = None
+            if self._accept(TokenType.KEYWORD, "AS"):
+                alias = self._expect_identifier()
+            items.append(ast.SelectItem(expression, alias))
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        return items
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect(TokenType.KEYWORD, "INSERT")
+        self._expect(TokenType.KEYWORD, "INTO")
+        table = self._expect_identifier()
+        self._expect(TokenType.PUNCT, "(")
+        columns = [self._expect_identifier()]
+        while self._accept(TokenType.PUNCT, ","):
+            columns.append(self._expect_identifier())
+        self._expect(TokenType.PUNCT, ")")
+        self._expect(TokenType.KEYWORD, "VALUES")
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._parse_expression()]
+        while self._accept(TokenType.PUNCT, ","):
+            values.append(self._parse_expression())
+        self._expect(TokenType.PUNCT, ")")
+        if len(columns) != len(values):
+            raise SqlSyntaxError(
+                f"INSERT has {len(columns)} columns but {len(values)} values",
+                self._current.position,
+            )
+        return ast.Insert(table, tuple(columns), tuple(values))
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect(TokenType.KEYWORD, "DELETE")
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._expect_identifier()
+        return ast.Delete(table, self._parse_optional_where())
+
+    def _parse_update(self) -> ast.Update:
+        self._expect(TokenType.KEYWORD, "UPDATE")
+        table = self._expect_identifier()
+        self._expect(TokenType.KEYWORD, "SET")
+        assignments = []
+        while True:
+            column = self._expect_identifier()
+            self._expect(TokenType.OPERATOR, "=")
+            assignments.append(ast.Assignment(column, self._parse_expression()))
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        return ast.Update(table, tuple(assignments), self._parse_optional_where())
+
+    def _parse_create(self) -> ast.Statement:
+        self._expect(TokenType.KEYWORD, "CREATE")
+        if self._accept(TokenType.KEYWORD, "INDEX"):
+            self._expect(TokenType.KEYWORD, "ON")
+            table = self._expect_identifier()
+            self._expect(TokenType.PUNCT, "(")
+            column = self._expect_identifier()
+            self._expect(TokenType.PUNCT, ")")
+            return ast.CreateIndex(table, column)
+        self._expect(TokenType.KEYWORD, "TABLE")
+        table = self._expect_identifier()
+        self._expect(TokenType.PUNCT, "(")
+        columns = [self._parse_column_def()]
+        while self._accept(TokenType.PUNCT, ","):
+            columns.append(self._parse_column_def())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.CreateTable(table, tuple(columns))
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_identifier()
+        type_token = self._advance()
+        if type_token.type is not TokenType.KEYWORD or type_token.value not in (
+            "BIGINT",
+            "INT",
+            "FLOAT",
+            "TEXT",
+        ):
+            raise SqlSyntaxError(
+                f"expected a column type, got {type_token.value!r}",
+                type_token.position,
+            )
+        primary_key = False
+        not_null = False
+        while True:
+            if self._accept(TokenType.KEYWORD, "PRIMARY"):
+                self._expect(TokenType.KEYWORD, "KEY")
+                primary_key = True
+            elif self._accept(TokenType.KEYWORD, "NOT"):
+                self._expect(TokenType.KEYWORD, "NULL")
+                not_null = True
+            else:
+                break
+        return ast.ColumnDef(name, type_token.value, primary_key, not_null)
+
+    def _parse_optional_where(self) -> Optional[ast.Expression]:
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            return self._parse_expression()
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept(TokenType.KEYWORD, "OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept(TokenType.KEYWORD, "AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        if self._accept(TokenType.KEYWORD, "IS"):
+            negated = bool(self._accept(TokenType.KEYWORD, "NOT"))
+            self._expect(TokenType.KEYWORD, "NULL")
+            return ast.IsNull(left, negated)
+        negated = False
+        if self._check(TokenType.KEYWORD, "NOT") and self._peek_is_between_or_in():
+            self._advance()
+            negated = True
+        if self._accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self._expect(TokenType.KEYWORD, "AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self._accept(TokenType.KEYWORD, "IN"):
+            self._expect(TokenType.PUNCT, "(")
+            items = [self._parse_additive()]
+            while self._accept(TokenType.PUNCT, ","):
+                items.append(self._parse_additive())
+            self._expect(TokenType.PUNCT, ")")
+            return ast.InList(left, tuple(items), negated)
+        if negated:  # pragma: no cover - guarded by _peek_is_between_or_in
+            raise SqlSyntaxError("dangling NOT", self._current.position)
+        if self._current.type is TokenType.OPERATOR and self._current.value in _COMPARISONS:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _peek_is_between_or_in(self) -> bool:
+        nxt = self._tokens[self._pos + 1]
+        return nxt.type is TokenType.KEYWORD and nxt.value in ("BETWEEN", "IN")
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self._current.type is TokenType.OPERATOR and self._current.value in ("+", "-"):
+            op = self._advance().value
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while self._current.type is TokenType.OPERATOR and self._current.value in ("*", "/"):
+            op = self._advance().value
+            left = ast.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._accept(TokenType.OPERATOR, "-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._current
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return ast.Param(token.value)
+        if token.type is TokenType.KEYWORD and token.value == "NULL":
+            self._advance()
+            return ast.Literal(None)
+        if token.type is TokenType.KEYWORD and token.value in ("MIN", "MAX", "COUNT"):
+            self._advance()
+            self._expect(TokenType.PUNCT, "(")
+            if token.value == "COUNT" and self._accept(TokenType.OPERATOR, "*"):
+                argument = None
+            else:
+                argument = self._parse_expression()
+            self._expect(TokenType.PUNCT, ")")
+            return ast.Aggregate(token.value, argument)
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return ast.ColumnRef(token.value)
+        if token.matches(TokenType.PUNCT, "("):
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenType.PUNCT, ")")
+            return inner
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", token.position
+        )

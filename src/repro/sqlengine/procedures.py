@@ -1,0 +1,230 @@
+"""The paper's stored procedures, executed as SQL text on the SQL engine.
+
+These classes mirror the T-SQL of Algorithms 2, 3, and 5 statement for
+statement (our engine has no procedural control flow, so IF/WHILE logic
+lives in Python while every data access is real SQL).  They expose the same
+interface as :class:`repro.storage.history.HistoryStore` /
+:class:`repro.storage.metadata.MetadataStore`, which lets the test suite
+assert the direct (B-tree) implementations and the SQL implementations are
+observationally equivalent, and lets the reference predictor (Algorithm 4)
+run on either backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sqlengine.engine import SqlEngine
+from repro.storage.database import Database
+from repro.storage.history import BYTES_PER_TUPLE, DeleteOldHistoryResult
+from repro.types import EventType, HistoryEvent, SECONDS_PER_DAY
+
+_CREATE_HISTORY = """
+CREATE TABLE sys.pause_resume_history (
+    time_snapshot BIGINT PRIMARY KEY,
+    event_type INT NOT NULL
+)
+"""
+
+_EXISTS_TIMESTAMP = """
+SELECT * FROM sys.pause_resume_history WHERE time_snapshot = @time
+"""
+
+_INSERT_HISTORY = """
+INSERT INTO sys.pause_resume_history (time_snapshot, event_type)
+VALUES (@time, @type)
+"""
+
+_MIN_TIMESTAMP = """
+SELECT MIN(time_snapshot) AS min_ts FROM sys.pause_resume_history
+"""
+
+_MAX_TIMESTAMP = """
+SELECT MAX(time_snapshot) AS max_ts FROM sys.pause_resume_history
+"""
+
+_DELETE_OLD = """
+DELETE FROM sys.pause_resume_history
+WHERE @minTimestamp < time_snapshot AND time_snapshot < @historyStart
+"""
+
+_FIRST_LAST_LOGIN = """
+SELECT MIN(time_snapshot) AS first_login, MAX(time_snapshot) AS last_login
+FROM sys.pause_resume_history
+WHERE event_type = 1 AND
+      @winStartPrevDay <= time_snapshot AND time_snapshot <= @winEndPrevDay
+"""
+
+_COUNT_TUPLES = """
+SELECT COUNT(*) AS n FROM sys.pause_resume_history
+"""
+
+_ALL_EVENTS = """
+SELECT time_snapshot, event_type FROM sys.pause_resume_history
+"""
+
+_LOGINS = """
+SELECT time_snapshot FROM sys.pause_resume_history WHERE event_type = 1
+"""
+
+
+class SqlHistoryProcedures:
+    """Algorithms 2 and 3 running as parameterized SQL (Section 5)."""
+
+    def __init__(self, database: Optional[Database] = None):
+        if database is None:
+            database = Database("tenant")
+        self.database = database
+        self.engine = SqlEngine(database)
+        if "sys.pause_resume_history" not in database:
+            self.engine.execute(_CREATE_HISTORY)
+
+    # -- Algorithm 2 ------------------------------------------------------
+
+    def insert_history(self, time_snapshot: int, event_type: EventType) -> bool:
+        """``sys.InsertHistory``: insert unless the timestamp exists."""
+        if self.engine.exists(_EXISTS_TIMESTAMP, {"time": time_snapshot}):
+            return False
+        self.engine.execute(
+            _INSERT_HISTORY, {"time": time_snapshot, "type": int(event_type)}
+        )
+        return True
+
+    def bulk_load(self, events) -> int:
+        inserted = 0
+        for event in events:
+            if self.insert_history(event.time_snapshot, event.event_type):
+                inserted += 1
+        return inserted
+
+    # -- Algorithm 3 ------------------------------------------------------
+
+    def delete_old_history(self, history_days: int, now: int) -> DeleteOldHistoryResult:
+        """``sys.DeleteOldHistory``: trim to h days, report the @old flag."""
+        history_start = now - history_days * SECONDS_PER_DAY
+        min_timestamp = self.engine.execute(_MIN_TIMESTAMP).scalar()
+        if min_timestamp is None or min_timestamp >= history_start:
+            return DeleteOldHistoryResult(
+                old=False, deleted=0, min_timestamp=min_timestamp
+            )
+        deleted = self.engine.execute(
+            _DELETE_OLD,
+            {"minTimestamp": min_timestamp, "historyStart": history_start},
+        ).rowcount
+        return DeleteOldHistoryResult(
+            old=True, deleted=deleted, min_timestamp=min_timestamp
+        )
+
+    # -- Queries used by Algorithm 4 --------------------------------------
+
+    def first_last_login(
+        self, window_start: int, window_end: int
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """The MIN/MAX range query of Algorithm 4 lines 19-24, verbatim."""
+        row = self.engine.execute(
+            _FIRST_LAST_LOGIN,
+            {"winStartPrevDay": window_start, "winEndPrevDay": window_end},
+        ).rows[0]
+        return row["first_login"], row["last_login"]
+
+    def login_timestamps(self) -> Sequence[int]:
+        return [row["time_snapshot"] for row in self.engine.execute(_LOGINS).rows]
+
+    def all_events(self) -> List[HistoryEvent]:
+        return [
+            HistoryEvent(row["time_snapshot"], EventType(row["event_type"]))
+            for row in self.engine.execute(_ALL_EVENTS).rows
+        ]
+
+    # -- Overhead accounting ----------------------------------------------
+
+    @property
+    def tuple_count(self) -> int:
+        return self.engine.execute(_COUNT_TUPLES).scalar()
+
+    def size_bytes(self) -> int:
+        return self.tuple_count * BYTES_PER_TUPLE
+
+    def min_timestamp(self) -> Optional[int]:
+        return self.engine.execute(_MIN_TIMESTAMP).scalar()
+
+    def max_timestamp(self) -> Optional[int]:
+        return self.engine.execute(_MAX_TIMESTAMP).scalar()
+
+
+_CREATE_METADATA = """
+CREATE TABLE sys.databases (
+    database_id TEXT PRIMARY KEY,
+    state TEXT NOT NULL,
+    start_of_pred_activity BIGINT NOT NULL,
+    node_id TEXT,
+    created_at BIGINT
+)
+"""
+
+_CREATE_METADATA_INDEX = """
+CREATE INDEX ON sys.databases (start_of_pred_activity)
+"""
+
+_REGISTER = """
+INSERT INTO sys.databases (database_id, state, start_of_pred_activity, node_id, created_at)
+VALUES (@id, @state, 0, @node, @created)
+"""
+
+_SET_STATE = """
+UPDATE sys.databases SET state = @state WHERE database_id = @id
+"""
+
+_RECORD_PHYSICAL_PAUSE = """
+UPDATE sys.databases
+SET state = 'physical_pause', start_of_pred_activity = @start
+WHERE database_id = @id
+"""
+
+#: The SELECT of Algorithm 5, lines 2-6.
+_PREWARM_SCAN = """
+SELECT database_id FROM sys.databases
+WHERE state = 'physical_pause' AND
+      @now + @k <= start_of_pred_activity AND
+      start_of_pred_activity <= @now + @k + @period
+ORDER BY database_id
+"""
+
+
+class SqlMetadataProcedures:
+    """The metadata-store operations of Algorithms 1 (line 31) and 5."""
+
+    def __init__(self, database: Optional[Database] = None):
+        if database is None:
+            database = Database("control_plane")
+        self.database = database
+        self.engine = SqlEngine(database)
+        if "sys.databases" not in database:
+            self.engine.execute(_CREATE_METADATA)
+            self.engine.execute(_CREATE_METADATA_INDEX)
+
+    def register(
+        self,
+        database_id: str,
+        state: str = "resumed",
+        node_id: Optional[str] = None,
+        created_at: Optional[int] = None,
+    ) -> None:
+        self.engine.execute(
+            _REGISTER,
+            {"id": database_id, "state": state, "node": node_id, "created": created_at},
+        )
+
+    def set_state(self, database_id: str, state: str) -> None:
+        self.engine.execute(_SET_STATE, {"id": database_id, "state": state})
+
+    def record_physical_pause(self, database_id: str, pred_start: int) -> None:
+        self.engine.execute(
+            _RECORD_PHYSICAL_PAUSE, {"id": database_id, "start": pred_start}
+        )
+
+    def databases_to_prewarm(self, now: int, prewarm_s: int, period_s: int) -> List[str]:
+        rows = self.engine.execute(
+            _PREWARM_SCAN, {"now": now, "k": prewarm_s, "period": period_s}
+        ).rows
+        return [row["database_id"] for row in rows]

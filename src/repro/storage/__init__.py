@@ -1,0 +1,39 @@
+"""Storage substrate: B-tree clustered index, typed tables, and the two
+ProRP stores (``sys.pause_resume_history`` and ``sys.databases``).
+
+The paper persists per-database history in an internal SQL table with a
+clustered B-tree index on ``time_snapshot`` (Section 5).  This package
+implements that stack from scratch:
+
+* :mod:`repro.storage.btree` -- an order-configurable B-tree with point and
+  range operations, all O(log n) as the paper's complexity analysis assumes.
+* :mod:`repro.storage.schema` / :mod:`repro.storage.table` -- typed columns,
+  uniqueness constraints, clustered and secondary indexes.
+* :mod:`repro.storage.database` -- a named collection of tables (one logical
+  "database" per simulated tenant plus the region metadata database).
+* :mod:`repro.storage.history` -- the history store with the semantics of
+  Algorithms 2 (InsertHistory) and 3 (DeleteOldHistory).
+* :mod:`repro.storage.metadata` -- the ``sys.databases`` metadata store read
+  by the proactive resume operation (Algorithm 5).
+"""
+
+from repro.storage.btree import BTree
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+from repro.storage.database import Database
+from repro.storage.history import HistoryStore, DeleteOldHistoryResult
+from repro.storage.metadata import MetadataStore, DatabaseRecord, DatabaseState
+
+__all__ = [
+    "BTree",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Table",
+    "Database",
+    "HistoryStore",
+    "DeleteOldHistoryResult",
+    "MetadataStore",
+    "DatabaseRecord",
+    "DatabaseState",
+]

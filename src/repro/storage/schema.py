@@ -1,0 +1,146 @@
+"""Table schemas: typed columns with the constraints the paper's stores need.
+
+``sys.pause_resume_history`` has two columns -- ``time_snapshot BIGINT``
+(unique, clustered index) and ``event_type INT`` -- while ``sys.databases``
+carries the per-database state and the start of the next predicted activity
+(Sections 5 and 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The SQL column types the engine supports."""
+
+    BIGINT = "BIGINT"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce/validate a Python value for this column type."""
+        if value is None:
+            return None
+        if self in (ColumnType.BIGINT, ColumnType.INT):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected an integer for {self.value}, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected a number for FLOAT, got {value!r}")
+            return float(value)
+        if not isinstance(value, str):
+            raise SchemaError(f"expected a string for TEXT, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is NOT NULL")
+            return None
+        return self.type.validate(value)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a table: ordered columns plus the clustered-key column.
+
+    ``primary_key`` names the column carrying the clustered B-tree index
+    (``time_snapshot`` for the history store); its values must be unique.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: str
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def validate_row(self, row: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Validate a column-name -> value mapping into a storage tuple.
+
+        Missing nullable columns default to None; unknown columns and NOT
+        NULL violations raise :class:`SchemaError`.
+        """
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        values: List[Any] = []
+        for col in self.columns:
+            values.append(col.validate(row.get(col.name)))
+        pk = values[self.column_index(self.primary_key)]
+        if pk is None:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} of {self.name!r} cannot be NULL"
+            )
+        return tuple(values)
+
+    def row_to_dict(self, values: Sequence[Any]) -> Dict[str, Any]:
+        """Inverse of :meth:`validate_row` for a stored tuple."""
+        return dict(zip(self.column_names, values))
+
+
+def history_schema() -> TableSchema:
+    """Schema of ``sys.pause_resume_history`` (Section 5)."""
+    return TableSchema(
+        name="sys.pause_resume_history",
+        columns=(
+            Column("time_snapshot", ColumnType.BIGINT, nullable=False),
+            Column("event_type", ColumnType.INT, nullable=False),
+        ),
+        primary_key="time_snapshot",
+    )
+
+
+def metadata_schema() -> TableSchema:
+    """Schema of the region metadata store ``sys.databases`` (Section 7)."""
+    return TableSchema(
+        name="sys.databases",
+        columns=(
+            Column("database_id", ColumnType.TEXT, nullable=False),
+            Column("state", ColumnType.TEXT, nullable=False),
+            Column("start_of_pred_activity", ColumnType.BIGINT, nullable=False),
+            Column("node_id", ColumnType.TEXT),
+            Column("created_at", ColumnType.BIGINT),
+        ),
+        primary_key="database_id",
+    )

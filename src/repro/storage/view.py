@@ -1,0 +1,91 @@
+"""The customer-facing materialized view over the history store.
+
+Section 5: "We will publish a materialized view over this history to the
+customers.  To this end, we convert both columns to human-readable format,
+i.e., epoch time is converted to date time, while event type is converted
+to string.  The customers will have read access to this table but no write
+access to prevent modification of the history."
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.history import HistoryStore
+from repro.types import EventType
+
+#: Human-readable labels for the ``event_type`` column.
+EVENT_LABELS = {
+    int(EventType.ACTIVITY_START): "activity start",
+    int(EventType.ACTIVITY_END): "activity end",
+}
+
+
+@dataclass(frozen=True)
+class CustomerHistoryRow:
+    """One row of the customer view."""
+
+    time_utc: str
+    event: str
+
+
+class CustomerHistoryView:
+    """Read-only, human-readable projection of ``sys.pause_resume_history``.
+
+    The view is *materialized on read*: it always reflects the current
+    table contents (after trims by Algorithm 3) and offers no mutation
+    surface at all -- every write-shaped method raises.
+    """
+
+    def __init__(self, store: HistoryStore):
+        self._store = store
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _format_time(epoch: int) -> str:
+        return datetime.datetime.fromtimestamp(
+            epoch, tz=datetime.timezone.utc
+        ).strftime("%Y-%m-%d %H:%M:%S")
+
+    def rows(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> List[CustomerHistoryRow]:
+        """All rows in time order, optionally restricted to [start, end]."""
+        if start is None and end is None:
+            events = self._store.all_events()
+        else:
+            lo = start if start is not None else 0
+            hi = end if end is not None else (self._store.max_timestamp() or 0)
+            events = self._store.events_in_range(lo, hi)
+        return [
+            CustomerHistoryRow(
+                time_utc=self._format_time(event.time_snapshot),
+                event=EVENT_LABELS[int(event.event_type)],
+            )
+            for event in events
+        ]
+
+    def __iter__(self) -> Iterator[CustomerHistoryRow]:
+        return iter(self.rows())
+
+    def __len__(self) -> int:
+        return self._store.tuple_count
+
+    # ------------------------------------------------------------------
+    # Write surface: none, by design
+    # ------------------------------------------------------------------
+
+    def insert(self, *args, **kwargs) -> None:
+        raise StorageError("the customer history view is read-only")
+
+    def delete(self, *args, **kwargs) -> None:
+        raise StorageError("the customer history view is read-only")
+
+    def update(self, *args, **kwargs) -> None:
+        raise StorageError("the customer history view is read-only")

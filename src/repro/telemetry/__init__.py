@@ -1,0 +1,31 @@
+"""Long-term telemetry: the Cosmos-big-data-platform substitute.
+
+The paper persists customer activity and resource allocation decisions
+long-term for offline evaluation of KPI metrics and for the monthly
+training pipeline (Figure 1, Section 8).  This package provides:
+
+* :mod:`repro.telemetry.events` -- the telemetry event schema (each event
+  carries a timestamp in seconds, a database identifier, and the results
+  of one ProRP component, exactly as Section 9.1 describes);
+* :mod:`repro.telemetry.store` -- an append-only, partitioned event store
+  with time-range scans, JSONL export/import, and retention trimming;
+* :mod:`repro.telemetry.emitter` -- converts a simulation result into the
+  event stream the online components would emit;
+* :mod:`repro.telemetry.offline` -- offline KPI evaluation: recomputes the
+  Section 8 metrics purely from stored telemetry (and the test suite
+  checks they match the online accounting).
+"""
+
+from repro.telemetry.events import Component, TelemetryEvent
+from repro.telemetry.store import TelemetryStore
+from repro.telemetry.emitter import emit_simulation_telemetry
+from repro.telemetry.offline import OfflineKpis, evaluate_offline_kpis
+
+__all__ = [
+    "Component",
+    "TelemetryEvent",
+    "TelemetryStore",
+    "emit_simulation_telemetry",
+    "evaluate_offline_kpis",
+    "OfflineKpis",
+]

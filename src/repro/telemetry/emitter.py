@@ -1,0 +1,76 @@
+"""Emit the telemetry stream a production ProRP deployment would produce.
+
+The simulator's per-database outcomes already hold every event with its
+timestamp; this module converts them into :class:`TelemetryEvent` records
+(activity tracking, lifecycle workflows, resume-operation iterations) and
+appends them to a store for offline evaluation (Section 8) and training.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulation.region import RegionSimulationResult
+from repro.telemetry.events import Component, TelemetryEvent
+from repro.telemetry.store import TelemetryStore
+from repro.types import ActivityTrace
+
+
+def emit_simulation_telemetry(
+    result: RegionSimulationResult,
+    traces: Sequence[ActivityTrace],
+    store: TelemetryStore,
+) -> int:
+    """Append the full event stream of one simulation run; returns the
+    number of events emitted."""
+    emitted = 0
+    window_start = result.settings.eval_start
+    window_end = result.settings.eval_end
+    by_id = {trace.database_id: trace for trace in traces}
+
+    for outcome in result.outcomes:
+        trace = by_id.get(outcome.database_id)
+        if trace is not None:
+            for session in trace.sessions:
+                if window_start <= session.start < window_end:
+                    store.append(TelemetryEvent(
+                        session.start,
+                        outcome.database_id,
+                        Component.ACTIVITY_TRACKING,
+                        {"event_type": 1},
+                    ))
+                    emitted += 1
+                if window_start <= session.end < window_end:
+                    store.append(TelemetryEvent(
+                        session.end,
+                        outcome.database_id,
+                        Component.ACTIVITY_TRACKING,
+                        {"event_type": 0},
+                    ))
+                    emitted += 1
+        workflow_streams = [
+            ("proactive_resume", outcome.proactive_resume_times),
+            ("reactive_resume", outcome.reactive_resume_times),
+            ("logical_pause", outcome.logical_pause_times),
+            ("physical_pause", outcome.physical_pause_times),
+        ]
+        for kind, times in workflow_streams:
+            for t in times:
+                store.append(TelemetryEvent(
+                    t,
+                    outcome.database_id,
+                    Component.LIFECYCLE,
+                    {"workflow": kind},
+                ))
+                emitted += 1
+
+    for iteration in result.resume_iterations:
+        if window_start <= iteration.time < window_end:
+            store.append(TelemetryEvent(
+                iteration.time,
+                "-",
+                Component.RESUME_OPERATION,
+                {"batch_size": iteration.batch_size},
+            ))
+            emitted += 1
+    return emitted

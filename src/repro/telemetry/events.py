@@ -1,0 +1,54 @@
+"""Telemetry event schema.
+
+Section 9.1: "This telemetry is emitted by the customer activity tracking,
+the prediction of next activity, and the proactive resume operation ...
+Each event carries timestamp in seconds, database identifier, and results
+of each component of the ProRP infrastructure."
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Component(enum.Enum):
+    """The emitting ProRP component."""
+
+    ACTIVITY_TRACKING = "activity_tracking"
+    PREDICTION = "prediction"
+    RESUME_OPERATION = "resume_operation"
+    LIFECYCLE = "lifecycle"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One telemetry record."""
+
+    time: int
+    database_id: str
+    component: Component
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "time": self.time,
+                "database_id": self.database_id,
+                "component": self.component.value,
+                "payload": self.payload,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TelemetryEvent":
+        data = json.loads(line)
+        return TelemetryEvent(
+            time=data["time"],
+            database_id=data["database_id"],
+            component=Component(data["component"]),
+            payload=data.get("payload", {}),
+        )

@@ -1,0 +1,107 @@
+"""Monitoring rollups and a terminal dashboard (the PowerBI substitute).
+
+The paper's design plugs ProRP telemetry into PowerBI monitoring tools
+(Section 3.1).  This module computes the time-series rollups an operator
+dashboard would show -- logins, QoS, and workflow volumes per bucket --
+straight from the telemetry store, and renders them as sparklines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ProRPError
+from repro.telemetry.events import Component
+from repro.telemetry.store import TelemetryStore
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class RollupBucket:
+    """One dashboard time bucket."""
+
+    start: int
+    logins: int = 0
+    reactive_resumes: int = 0
+    proactive_resumes: int = 0
+    physical_pauses: int = 0
+    logical_pauses: int = 0
+
+    @property
+    def qos_percent(self) -> float:
+        """% of the bucket's logins that did not need a reactive resume."""
+        if self.logins == 0:
+            return 100.0
+        served = max(0, self.logins - self.reactive_resumes)
+        return 100.0 * served / self.logins
+
+
+def kpi_rollup(
+    store: TelemetryStore, start: int, end: int, bucket_s: int
+) -> List[RollupBucket]:
+    """Aggregate the telemetry stream into fixed-width buckets."""
+    if bucket_s <= 0:
+        raise ProRPError("bucket width must be positive")
+    if end <= start:
+        raise ProRPError("rollup window must be non-empty")
+    n = (end - start + bucket_s - 1) // bucket_s
+    counters = [dict.fromkeys(
+        ("logins", "reactive_resumes", "proactive_resumes",
+         "physical_pauses", "logical_pauses"), 0,
+    ) for _ in range(n)]
+    for event in store.scan(start=start, end=end):
+        bucket = counters[(event.time - start) // bucket_s]
+        if event.component is Component.ACTIVITY_TRACKING:
+            if event.payload.get("event_type") == 1:
+                bucket["logins"] += 1
+        elif event.component is Component.LIFECYCLE:
+            kind = event.payload.get("workflow")
+            key = f"{kind}s" if kind else None
+            if key in bucket:
+                bucket[key] += 1
+    return [
+        RollupBucket(start=start + i * bucket_s, **counts)
+        for i, counts in enumerate(counters)
+    ]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a unicode sparkline (empty input -> '')."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def render_dashboard(rollups: Sequence[RollupBucket], title: str = "ProRP") -> str:
+    """The operator dashboard: one sparkline per metric plus totals."""
+    if not rollups:
+        return f"{title}: no data"
+    metrics = [
+        ("logins", [b.logins for b in rollups]),
+        ("QoS %", [b.qos_percent for b in rollups]),
+        ("reactive resumes", [b.reactive_resumes for b in rollups]),
+        ("proactive resumes", [b.proactive_resumes for b in rollups]),
+        ("physical pauses", [b.physical_pauses for b in rollups]),
+        ("logical pauses", [b.logical_pauses for b in rollups]),
+    ]
+    width = max(len(name) for name, _ in metrics)
+    lines = [f"{title} — {len(rollups)} buckets"]
+    for name, series in metrics:
+        total = sum(series)
+        if name == "QoS %":
+            summary = f"min {min(series):6.1f}"
+        else:
+            summary = f"sum {int(total):6d}"
+        lines.append(f"{name.rjust(width)}  {sparkline(series)}  {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""An append-only, partitioned telemetry store (Cosmos substitute).
+
+Events are partitioned by (component, day) like a big-data store's
+date-partitioned streams; scans can prune partitions by component and time
+range.  JSONL export/import stands in for the durable storage layer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.telemetry.events import Component, TelemetryEvent
+from repro.types import SECONDS_PER_DAY
+
+
+class TelemetryStore:
+    """In-memory partitioned event store with pruned range scans."""
+
+    def __init__(self) -> None:
+        # (component, day) -> list of events sorted by time.
+        self._partitions: Dict[Tuple[Component, int], List[TelemetryEvent]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def append(self, event: TelemetryEvent) -> None:
+        key = (event.component, event.time // SECONDS_PER_DAY)
+        partition = self._partitions.setdefault(key, [])
+        if partition and event.time < partition[-1].time:
+            # Out-of-order arrival: insert at the right offset.
+            times = [e.time for e in partition]
+            partition.insert(bisect.bisect_right(times, event.time), event)
+        else:
+            partition.append(event)
+        self._count += 1
+
+    def extend(self, events: Iterable[TelemetryEvent]) -> int:
+        n = 0
+        for event in events:
+            self.append(event)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        component: Optional[Component] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        database_id: Optional[str] = None,
+    ) -> Iterator[TelemetryEvent]:
+        """Events in time order, pruned by component and day partition."""
+        first_day = 0 if start is None else start // SECONDS_PER_DAY
+        keys = sorted(
+            (
+                key
+                for key in self._partitions
+                if (component is None or key[0] is component)
+                and key[1] >= first_day
+                and (end is None or key[1] <= end // SECONDS_PER_DAY)
+            ),
+            key=lambda k: (k[0].value, k[1]),
+        )
+        merged: List[TelemetryEvent] = []
+        for key in keys:
+            merged.extend(self._partitions[key])
+        merged.sort(key=lambda e: e.time)
+        for event in merged:
+            if start is not None and event.time < start:
+                continue
+            if end is not None and event.time >= end:
+                continue
+            if database_id is not None and event.database_id != database_id:
+                continue
+            yield event
+
+    def partition_counts(self) -> Dict[Tuple[str, int], int]:
+        """(component name, day) -> event count; monitoring surface."""
+        return {
+            (component.value, day): len(events)
+            for (component, day), events in self._partitions.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Retention and durability
+    # ------------------------------------------------------------------
+
+    def trim_before(self, cutoff: int) -> int:
+        """Drop whole partitions older than the cutoff day; returns the
+        number of events removed (retention policy)."""
+        cutoff_day = cutoff // SECONDS_PER_DAY
+        doomed = [key for key in self._partitions if key[1] < cutoff_day]
+        removed = 0
+        for key in doomed:
+            removed += len(self._partitions.pop(key))
+        self._count -= removed
+        return removed
+
+    def export_jsonl(self, path: Path) -> int:
+        """Write every event as one JSON line; returns the count."""
+        path = Path(path)
+        n = 0
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self.scan():
+                handle.write(event.to_json())
+                handle.write("\n")
+                n += 1
+        return n
+
+    @classmethod
+    def import_jsonl(cls, path: Path) -> "TelemetryStore":
+        store = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.append(TelemetryEvent.from_json(line))
+        return store

@@ -1,0 +1,30 @@
+"""The offline training pipeline (Section 8): the Azure ML substitute.
+
+One run per region per month: vary the activity-prediction parameters
+(window size, confidence threshold, history length, seasonality), evaluate
+the KPI metrics for each candidate, and select the configuration with the
+best middle ground between quality of service and operational cost
+efficiency.  The parameter sweeps double as the drivers of Figures 8-9.
+"""
+
+from repro.training.objective import (
+    Objective,
+    qos_priority_objective,
+    weighted_objective,
+)
+from repro.training.pipeline import (
+    CandidateResult,
+    ParameterGrid,
+    TrainingPipeline,
+    TrainingReport,
+)
+
+__all__ = [
+    "Objective",
+    "qos_priority_objective",
+    "weighted_objective",
+    "ParameterGrid",
+    "TrainingPipeline",
+    "TrainingReport",
+    "CandidateResult",
+]

@@ -1,0 +1,89 @@
+"""Automated knob selection (future-work direction (2) of the paper).
+
+"So far, we have manually selected the most impactful knobs to tune based
+on our domain knowledge.  However, knob selection can be automated, as
+defined by the state-of-the-art approaches in academia [32, 65]."
+
+This module implements the OtterTune-style first stage in its simplest
+trustworthy form: one-factor-at-a-time sensitivity analysis.  For each
+candidate knob, every candidate value is evaluated with all other knobs at
+their base values; a knob's impact is the spread of the objective across
+its values.  Knobs are then ranked so the (expensive) full grid sweep of
+the training pipeline can be restricted to the most impactful ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.config import ProRPConfig
+from repro.errors import ConfigError
+from repro.training.pipeline import CandidateResult, TrainingPipeline
+
+
+@dataclass(frozen=True)
+class KnobImpact:
+    """Sensitivity of the objective to one knob."""
+
+    knob: str
+    #: Objective spread (max - min) across the knob's candidate values.
+    impact: float
+    #: Spread of the two KPI components, for interpretation.
+    qos_spread: float
+    idle_spread: float
+    results: List[CandidateResult]
+
+
+def rank_knobs(
+    pipeline: TrainingPipeline,
+    base: ProRPConfig,
+    candidates: Dict[str, Sequence[Any]],
+) -> List[KnobImpact]:
+    """Rank knobs by objective sensitivity (most impactful first).
+
+    ``candidates`` maps ProRPConfig field names to the values to probe.
+    Values that fail config validation are skipped; a knob whose values all
+    fail raises :class:`ConfigError` (the probe set is wrong, not the knob).
+    """
+    impacts: List[KnobImpact] = []
+    for knob, values in sorted(candidates.items()):
+        results: List[CandidateResult] = []
+        for value in values:
+            try:
+                config = base.with_overrides(**{knob: value})
+            except ConfigError:
+                continue
+            results.append(pipeline.evaluate(config))
+        if not results:
+            raise ConfigError(
+                f"no valid candidate value for knob {knob!r} out of {values!r}"
+            )
+        scores = [r.score for r in results]
+        qos = [r.kpis.qos_percent for r in results]
+        idle = [r.kpis.idle_percent for r in results]
+        impacts.append(
+            KnobImpact(
+                knob=knob,
+                impact=max(scores) - min(scores),
+                qos_spread=max(qos) - min(qos),
+                idle_spread=max(idle) - min(idle),
+                results=results,
+            )
+        )
+    impacts.sort(key=lambda k: k.impact, reverse=True)
+    return impacts
+
+
+def select_knobs(
+    pipeline: TrainingPipeline,
+    base: ProRPConfig,
+    candidates: Dict[str, Sequence[Any]],
+    top_k: int = 2,
+) -> List[str]:
+    """The names of the ``top_k`` most impactful knobs -- what the full
+    grid sweep should vary (the paper's production pick, window size and
+    confidence, are exactly the ones this returns on its fleets)."""
+    if top_k <= 0:
+        raise ConfigError("top_k must be positive")
+    return [impact.knob for impact in rank_knobs(pipeline, base, candidates)[:top_k]]

@@ -1,0 +1,39 @@
+"""Objectives for configuration selection.
+
+The paper prioritises quality of service over operational costs when
+choosing the production knobs (Section 9.2: window 7h, confidence 0.1),
+while still seeking "the best middle ground" (Section 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.kpi import KpiReport
+
+#: An objective maps a KPI report to a score; higher is better.
+Objective = Callable[[KpiReport], float]
+
+
+def qos_priority_objective(idle_cap_percent: float = 15.0) -> Objective:
+    """Maximise QoS subject to a soft cap on idle time.
+
+    Configurations within the idle cap are ranked by QoS; those above it
+    are penalised by how far they exceed it, so an extreme-QoS knob that
+    wastes resources cannot win (the production stance of Section 9.2).
+    """
+
+    def score(report: KpiReport) -> float:
+        penalty = max(0.0, report.idle_percent - idle_cap_percent) * 10.0
+        return report.qos_percent - penalty
+
+    return score
+
+
+def weighted_objective(qos_weight: float = 1.0, idle_weight: float = 1.0) -> Objective:
+    """A linear QoS-vs-COGS trade-off for sensitivity studies."""
+
+    def score(report: KpiReport) -> float:
+        return qos_weight * report.qos_percent - idle_weight * report.idle_percent
+
+    return score

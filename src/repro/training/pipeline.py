@@ -1,0 +1,117 @@
+"""The knob-tuning pipeline: grid sweep -> KPI evaluation -> selection.
+
+Mirrors the production pipeline of Section 8: "The pipeline varies the
+parameters of activity prediction, computes the KPI metrics, and selects
+the configuration that finds the best middle ground between quality of
+service and operational cost efficiency."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.config import ProRPConfig
+from repro.core.kpi import KpiReport
+from repro.errors import ConfigError
+from repro.simulation.region import SimulationSettings, simulate_region
+from repro.training.objective import Objective, qos_priority_objective
+from repro.types import ActivityTrace
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Candidate values per knob; unset knobs keep the base value.
+
+    Keys must be ProRPConfig field names (``window_s``, ``confidence``,
+    ``history_days``, ``seasonality``, ...).
+    """
+
+    values: Dict[str, Sequence[Any]]
+
+    def candidates(self, base: ProRPConfig) -> List[ProRPConfig]:
+        """The cross product of the grid applied to the base config.
+
+        Invalid combinations (rejected by config validation) are skipped,
+        mirroring a sweep that prunes nonsensical knob mixes.
+        """
+        if not self.values:
+            return [base]
+        names = sorted(self.values)
+        configs: List[ProRPConfig] = []
+        for combo in itertools.product(*(self.values[name] for name in names)):
+            overrides = dict(zip(names, combo))
+            try:
+                configs.append(base.with_overrides(**overrides))
+            except ConfigError:
+                continue
+        if not configs:
+            raise ConfigError("the parameter grid produced no valid configuration")
+        return configs
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One evaluated configuration."""
+
+    config: ProRPConfig
+    kpis: KpiReport
+    score: float
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Outcome of one pipeline run."""
+
+    candidates: List[CandidateResult]
+    best: CandidateResult
+
+    def sweep_rows(self, knob: str) -> List[Dict[str, Any]]:
+        """Per-candidate summary rows ordered by one knob -- the data
+        behind the Figure 8/9 sweep charts."""
+        rows = []
+        for candidate in self.candidates:
+            config_dict = candidate.config.to_dict()
+            rows.append(
+                {
+                    knob: config_dict[knob],
+                    "qos_percent": candidate.kpis.qos_percent,
+                    "idle_percent": candidate.kpis.idle_percent,
+                    "score": candidate.score,
+                }
+            )
+        rows.sort(key=lambda r: r[knob])
+        return rows
+
+
+class TrainingPipeline:
+    """Sweep configurations over a training fleet and pick the best."""
+
+    def __init__(
+        self,
+        traces: Sequence[ActivityTrace],
+        settings: SimulationSettings,
+        objective: Optional[Objective] = None,
+    ):
+        self._traces = traces
+        self._settings = settings
+        self._objective = objective or qos_priority_objective()
+
+    def evaluate(self, config: ProRPConfig) -> CandidateResult:
+        """Run the proactive policy under one configuration."""
+        result = simulate_region(
+            self._traces, "proactive", config=config, settings=self._settings
+        )
+        kpis = result.kpis()
+        return CandidateResult(config=config, kpis=kpis, score=self._objective(kpis))
+
+    def run(self, base: ProRPConfig, grid: ParameterGrid) -> TrainingReport:
+        """Evaluate every candidate and select the top scorer.
+
+        Ties break toward the earlier candidate in grid order, which makes
+        the selection deterministic.
+        """
+        candidates = [self.evaluate(config) for config in grid.candidates(base)]
+        best = max(candidates, key=lambda c: c.score)
+        return TrainingReport(candidates=candidates, best=best)

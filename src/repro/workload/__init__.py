@@ -1,0 +1,43 @@
+"""Synthetic customer-activity workloads.
+
+Azure production telemetry is not available outside Microsoft, so this
+package generates the closest synthetic equivalent: per-database activity
+traces drawn from the usage archetypes the paper's own analysis motivates
+(Section 1, challenge 1): databases with stable usage, daily or weekly
+patterns, and short unpredictable spikes.  Region presets (EU1/EU2/US1/US2)
+differ in archetype mixture, fleet size scaling, and time-zone offsets so
+the cross-region validation of Figure 6 exercises genuinely different
+fleets.
+"""
+
+from repro.workload.archetypes import (
+    Archetype,
+    BurstyDev,
+    DailyBusinessHours,
+    Dormant,
+    NightlyJob,
+    Sporadic,
+    Stable,
+    WeeklyBatch,
+)
+from repro.workload.generator import FleetSpec, generate_fleet
+from repro.workload.regions import RegionPreset, generate_region_traces, region_spec
+from repro.workload.traces import idle_interval_stats, IdleIntervalStats
+
+__all__ = [
+    "Archetype",
+    "DailyBusinessHours",
+    "Dormant",
+    "NightlyJob",
+    "WeeklyBatch",
+    "Stable",
+    "BurstyDev",
+    "Sporadic",
+    "FleetSpec",
+    "generate_fleet",
+    "RegionPreset",
+    "region_spec",
+    "generate_region_traces",
+    "idle_interval_stats",
+    "IdleIntervalStats",
+]

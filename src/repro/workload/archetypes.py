@@ -1,0 +1,389 @@
+"""Per-database activity archetypes.
+
+Each archetype is a generator of activity sessions for one database over a
+time span, parameterised by a random source.  The archetypes mirror the
+usage classes the paper's telemetry analysis reports: stable usage, daily
+patterns, weekly patterns, and short unpredictable spikes (Section 1).
+
+All archetypes emit *customer* activity only; system maintenance operations
+are modelled separately (:func:`maintenance_sessions`) because the paper's
+tracker deliberately excludes them from the history (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.types import Session, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_MINUTE
+from repro.types import merge_sessions
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+MINUTE = SECONDS_PER_MINUTE
+
+
+class Archetype:
+    """Base class: produces sessions over [start, end)."""
+
+    name = "abstract"
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        raise NotImplementedError
+
+    def generate(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        """Sessions clipped to [start, end), merged and validated."""
+        raw = [s for s in self.sessions(start, end, rng)]
+        clipped = []
+        for session in raw:
+            s, e = max(session.start, start), min(session.end, end)
+            if e > s:
+                clipped.append(Session(s, e))
+        return merge_sessions(clipped)
+
+
+def _gauss_clamped(rng: random.Random, mu: float, sigma: float, lo: float, hi: float) -> float:
+    return min(hi, max(lo, rng.gauss(mu, sigma)))
+
+
+class DailyBusinessHours(Archetype):
+    """A production OLTP database behind a business application: activity
+    bursts through the working day with short breaks, idle overnight.
+
+    The short intra-day breaks create the many sub-hour idle intervals of
+    Figure 3(a); the overnight gap dominates total idle time (Figure 3(b)).
+    """
+
+    name = "daily_business_hours"
+
+    def __init__(
+        self,
+        workday_start_h: float = 9.0,
+        workday_end_h: float = 17.0,
+        start_jitter_min: float = 45.0,
+        end_jitter_min: float = 50.0,
+        breaks_per_day: float = 4.0,
+        break_minutes: float = 30.0,
+        weekdays_only: bool = True,
+        skip_day_probability: float = 0.03,
+        timezone_offset_h: float = 0.0,
+    ):
+        self.workday_start_h = workday_start_h
+        self.workday_end_h = workday_end_h
+        self.start_jitter_min = start_jitter_min
+        self.end_jitter_min = end_jitter_min
+        self.breaks_per_day = breaks_per_day
+        self.break_minutes = break_minutes
+        self.weekdays_only = weekdays_only
+        self.skip_day_probability = skip_day_probability
+        self.timezone_offset_h = timezone_offset_h
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        first_day = start // DAY
+        last_day = (end - 1) // DAY
+        for day in range(first_day, last_day + 1):
+            if self.weekdays_only and day % 7 >= 5:  # days 5,6 of each week
+                continue
+            if rng.random() < self.skip_day_probability:
+                continue
+            day_base = day * DAY + int(self.timezone_offset_h * HOUR)
+            work_start = day_base + int(
+                _gauss_clamped(
+                    rng,
+                    self.workday_start_h * HOUR,
+                    self.start_jitter_min * MINUTE,
+                    self.workday_start_h * HOUR - 2 * HOUR,
+                    self.workday_start_h * HOUR + 2 * HOUR,
+                )
+            )
+            work_end = day_base + int(
+                _gauss_clamped(
+                    rng,
+                    self.workday_end_h * HOUR,
+                    self.end_jitter_min * MINUTE,
+                    self.workday_end_h * HOUR - 2 * HOUR,
+                    self.workday_end_h * HOUR + 3 * HOUR,
+                )
+            )
+            if work_end <= work_start:
+                continue
+            out.extend(self._split_workday(work_start, work_end, rng))
+        return out
+
+    def _split_workday(
+        self, work_start: int, work_end: int, rng: random.Random
+    ) -> List[Session]:
+        """Cut the workday into activity bursts separated by short breaks."""
+        n_breaks = max(0, int(rng.gauss(self.breaks_per_day, 1.0)))
+        if n_breaks == 0:
+            return [Session(work_start, work_end)]
+        span = work_end - work_start
+        cut_points = sorted(
+            rng.randint(1, span - 1) for _ in range(n_breaks)
+        )
+        sessions: List[Session] = []
+        cursor = work_start
+        for cut in cut_points:
+            break_len = int(
+                max(3 * MINUTE, rng.expovariate(1.0 / (self.break_minutes * MINUTE)))
+            )
+            cut_abs = work_start + cut
+            if cut_abs - cursor > 5 * MINUTE and cut_abs + break_len < work_end:
+                sessions.append(Session(cursor, cut_abs))
+                cursor = cut_abs + break_len
+        if work_end > cursor:
+            sessions.append(Session(cursor, work_end))
+        return sessions
+
+
+class NightlyJob(Archetype):
+    """A highly predictable batch job (ETL, reporting) at a fixed hour."""
+
+    name = "nightly_job"
+
+    def __init__(
+        self,
+        job_hour: float = 2.0,
+        jitter_min: float = 10.0,
+        duration_min: float = 40.0,
+        duration_jitter_min: float = 15.0,
+        skip_day_probability: float = 0.02,
+    ):
+        self.job_hour = job_hour
+        self.jitter_min = jitter_min
+        self.duration_min = duration_min
+        self.duration_jitter_min = duration_jitter_min
+        self.skip_day_probability = skip_day_probability
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        for day in range(start // DAY, (end - 1) // DAY + 1):
+            if rng.random() < self.skip_day_probability:
+                continue
+            job_start = day * DAY + int(
+                self.job_hour * HOUR + rng.gauss(0, self.jitter_min * MINUTE)
+            )
+            duration = int(
+                max(
+                    5 * MINUTE,
+                    rng.gauss(
+                        self.duration_min * MINUTE,
+                        self.duration_jitter_min * MINUTE,
+                    ),
+                )
+            )
+            out.append(Session(job_start, job_start + duration))
+        return out
+
+
+class WeeklyBatch(Archetype):
+    """Weekly processing: a few hours once a week (weekly seasonality)."""
+
+    name = "weekly_batch"
+
+    def __init__(
+        self,
+        weekday: int = 0,
+        start_hour: float = 6.0,
+        jitter_min: float = 30.0,
+        duration_h: float = 3.0,
+    ):
+        if not 0 <= weekday < 7:
+            raise ValueError("weekday must be in [0, 7)")
+        self.weekday = weekday
+        self.start_hour = start_hour
+        self.jitter_min = jitter_min
+        self.duration_h = duration_h
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        for day in range(start // DAY, (end - 1) // DAY + 1):
+            if day % 7 != self.weekday:
+                continue
+            batch_start = day * DAY + int(
+                self.start_hour * HOUR + rng.gauss(0, self.jitter_min * MINUTE)
+            )
+            duration = int(
+                max(30 * MINUTE, rng.gauss(self.duration_h * HOUR, HOUR / 2))
+            )
+            out.append(Session(batch_start, batch_start + duration))
+        return out
+
+
+class Stable(Archetype):
+    """Continuously used database: serverless brings it little benefit, but
+    fleets contain them (Section 1: databases with stable usage)."""
+
+    name = "stable"
+
+    def __init__(self, gap_per_day: float = 0.3, gap_minutes: float = 20.0):
+        self.gap_per_day = gap_per_day
+        self.gap_minutes = gap_minutes
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        cursor = start
+        while cursor < end:
+            # Long on-interval, occasionally interrupted by a brief gap.
+            on_len = int(rng.expovariate(self.gap_per_day / DAY)) + HOUR
+            session_end = min(cursor + on_len, end)
+            out.append(Session(cursor, session_end))
+            gap = int(max(2 * MINUTE, rng.expovariate(1.0 / (self.gap_minutes * MINUTE))))
+            cursor = session_end + gap
+        return out
+
+
+def _episode(
+    episode_start: int,
+    rng: random.Random,
+    max_sessions: int,
+    session_minutes: float,
+    gap_minutes: float,
+) -> List[Session]:
+    """A visit: a handful of sessions separated by sub-hour breaks.
+
+    Visits are how interactive usage actually looks (connect, work, step
+    away, come back); the intra-visit gaps produce the mass of sub-hour
+    idle intervals in Figure 3(a) while the inter-visit gaps carry nearly
+    all the idle duration of Figure 3(b).
+    """
+    sessions: List[Session] = []
+    cursor = episode_start
+    for _ in range(rng.randint(1, max_sessions)):
+        duration = int(
+            max(4 * MINUTE, rng.expovariate(1.0 / (session_minutes * MINUTE)))
+        )
+        sessions.append(Session(cursor, cursor + duration))
+        cursor += duration + int(
+            max(2 * MINUTE, rng.expovariate(1.0 / (gap_minutes * MINUTE)))
+        )
+    return sessions
+
+
+class BurstyDev(Archetype):
+    """A development/test database: visit episodes around a per-database
+    preferred hour (developers keep their own schedule), a couple of days
+    apart.  Semi-predictable: the daily detector often catches the habit."""
+
+    name = "bursty_dev"
+
+    def __init__(
+        self,
+        days_between_episodes: float = 2.5,
+        preferred_hour: float = 14.0,
+        hour_jitter_h: float = 2.5,
+        sessions_per_episode: int = 3,
+        session_minutes: float = 40.0,
+        gap_minutes: float = 25.0,
+    ):
+        self.days_between_episodes = days_between_episodes
+        self.preferred_hour = preferred_hour
+        self.hour_jitter_h = hour_jitter_h
+        self.sessions_per_episode = sessions_per_episode
+        self.session_minutes = session_minutes
+        self.gap_minutes = gap_minutes
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        day = start // DAY
+        while day * DAY < end:
+            # Episode on this day with probability 1/days_between.
+            if rng.random() < 1.0 / self.days_between_episodes:
+                hour = rng.gauss(self.preferred_hour, self.hour_jitter_h)
+                episode_start = day * DAY + int(min(23.0, max(0.0, hour)) * HOUR)
+                if episode_start >= start:
+                    out.extend(
+                        _episode(
+                            episode_start,
+                            rng,
+                            self.sessions_per_episode,
+                            self.session_minutes,
+                            self.gap_minutes,
+                        )
+                    )
+            day += 1
+        return out
+
+
+class Sporadic(Archetype):
+    """A rarely used database: visit episodes days apart at uniformly
+    random times -- genuinely unpredictable, the long tail that dominates
+    a serverless fleet and the total idle time of Figure 3(b)."""
+
+    name = "sporadic"
+
+    def __init__(
+        self,
+        days_between_sessions: float = 4.0,
+        session_minutes: float = 45.0,
+        sessions_per_episode: int = 2,
+        gap_minutes: float = 20.0,
+    ):
+        self.days_between_sessions = days_between_sessions
+        self.session_minutes = session_minutes
+        self.sessions_per_episode = sessions_per_episode
+        self.gap_minutes = gap_minutes
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        cursor = start + int(rng.uniform(0, self.days_between_sessions * DAY))
+        while cursor < end:
+            episode = _episode(
+                cursor,
+                rng,
+                self.sessions_per_episode,
+                self.session_minutes,
+                self.gap_minutes,
+            )
+            out.extend(episode)
+            cursor = episode[-1].end + int(
+                rng.expovariate(1.0 / (self.days_between_sessions * DAY))
+            )
+        return out
+
+
+class Dormant(Archetype):
+    """An almost-dead database: one short visit every week or three.  Vast
+    serverless fleets carry many of these; they are why total idle time is
+    dominated by multi-day intervals (Figure 3(b))."""
+
+    name = "dormant"
+
+    def __init__(self, days_between_sessions: float = 14.0, session_minutes: float = 30.0):
+        self.days_between_sessions = days_between_sessions
+        self.session_minutes = session_minutes
+
+    def sessions(self, start: int, end: int, rng: random.Random) -> List[Session]:
+        out: List[Session] = []
+        cursor = start + int(rng.uniform(0, self.days_between_sessions * DAY))
+        while cursor < end:
+            duration = int(
+                max(5 * MINUTE, rng.expovariate(1.0 / (self.session_minutes * MINUTE)))
+            )
+            out.append(Session(cursor, cursor + duration))
+            cursor += duration + int(
+                rng.expovariate(1.0 / (self.days_between_sessions * DAY))
+            )
+        return out
+
+
+def maintenance_sessions(
+    start: int, end: int, rng: random.Random, per_week: float = 2.0
+) -> List[Session]:
+    """System maintenance operations (backups, stats refresh).
+
+    These resume resources but are *not* customer activity: the tracker of
+    Section 3.3 excludes them from ``sys.pause_resume_history`` so they do
+    not pollute predictions.
+    """
+    out: List[Session] = []
+    cursor = start
+    mean_gap = 7 * DAY / per_week
+    while cursor < end:
+        cursor += int(rng.expovariate(1.0 / mean_gap))
+        duration = int(rng.uniform(5 * MINUTE, 30 * MINUTE))
+        if cursor < end:
+            out.append(Session(cursor, cursor + duration))
+            cursor += duration
+    return out

@@ -1,0 +1,76 @@
+"""Trace import/export.
+
+Downstream users with real telemetry can replay their own fleets: a trace
+file is JSON Lines, one database per line, with epoch-second sessions --
+the same (timestamp, event) information the paper's activity tracker
+stores.  Exports round-trip losslessly.
+
+Line schema::
+
+    {"database_id": "...", "created_at": 0,
+     "sessions": [[start, end], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.errors import TraceError
+from repro.types import ActivityTrace, Session
+
+
+def trace_to_dict(trace: ActivityTrace) -> dict:
+    return {
+        "database_id": trace.database_id,
+        "created_at": trace.created_at,
+        "sessions": [[s.start, s.end] for s in trace.sessions],
+    }
+
+
+def trace_from_dict(data: dict) -> ActivityTrace:
+    try:
+        database_id = data["database_id"]
+        sessions = [Session(int(a), int(b)) for a, b in data["sessions"]]
+        created_at = data.get("created_at")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed trace record: {exc}") from exc
+    return ActivityTrace(database_id, sessions, created_at=created_at)
+
+
+def export_traces(traces: Iterable[ActivityTrace], path: Path) -> int:
+    """Write traces as JSONL; returns the number written."""
+    path = Path(path)
+    n = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(json.dumps(trace_to_dict(trace), separators=(",", ":")))
+            handle.write("\n")
+            n += 1
+    return n
+
+
+def import_traces(path: Path) -> List[ActivityTrace]:
+    """Read a JSONL trace file; validates every record."""
+    traces: List[ActivityTrace] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            traces.append(trace_from_dict(data))
+    seen = set()
+    for trace in traces:
+        if trace.database_id in seen:
+            raise TraceError(
+                f"duplicate database_id {trace.database_id!r} in {path}"
+            )
+        seen.add(trace.database_id)
+    return traces

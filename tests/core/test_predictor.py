@@ -1,0 +1,313 @@
+"""Tests for Algorithm 4: the reference predictor, its behaviour on known
+patterns, and equivalence of the three backends (B-tree store, SQL
+procedures, vectorised NumPy implementation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ProRPConfig, Seasonality
+from repro.core.fast_predictor import FastPredictor
+from repro.core.predictor import predict_next_activity
+from repro.sqlengine.procedures import SqlHistoryProcedures
+from repro.storage.history import HistoryStore
+from repro.types import (
+    EventType,
+    PredictedActivity,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+)
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+MIN = SECONDS_PER_MINUTE
+
+
+def store_with_logins(logins):
+    store = HistoryStore()
+    for t in logins:
+        store.insert_history(t, EventType.ACTIVITY_START)
+    return store
+
+
+class TestDailyPattern:
+    """A customer logging in at 09:00 every day for 28 days."""
+
+    def _history(self, login_tod=9 * HOUR, days=28):
+        return store_with_logins([d * DAY + login_tod for d in range(days)])
+
+    def test_predicts_nine_am_next_day(self):
+        config = ProRPConfig()
+        store = self._history()
+        now = 27 * DAY + 18 * HOUR  # day 27, 18:00, idle after work
+        predicted = predict_next_activity(store, config, now)
+        assert not predicted.is_empty
+        assert predicted.start == 28 * DAY + 9 * HOUR
+        assert predicted.confidence == 1.0
+
+    def test_prediction_spans_first_to_last_login_in_window(self):
+        """When the first qualifying window covers logins with different
+        offsets, the prediction spans the earliest first-login to the
+        latest last-login across the historical windows (lines 25-33)."""
+        logins = []
+        for d in range(28):
+            # Even days log in at 09:00, odd days at 09:20.
+            tod = 9 * HOUR if d % 2 == 0 else 9 * HOUR + 20 * MIN
+            logins.append(d * DAY + tod)
+        store = store_with_logins(logins)
+        now = 27 * DAY + 18 * HOUR
+        # c=0.6: windows seeing only one parity (probability ~0.5) cannot
+        # seed; the first qualifying window must straddle both login times.
+        predicted = predict_next_activity(
+            store, ProRPConfig(confidence=0.6), now
+        )
+        assert predicted.start == 28 * DAY + 9 * HOUR
+        assert predicted.end == 28 * DAY + 9 * HOUR + 20 * MIN
+
+    def test_jittered_logins_predict_earliest(self):
+        """With per-day jitter the predicted start is the earliest
+        historical login offset within the selected window."""
+        jitter = [0, 5, -7, 12, 3, -2, 9] * 4  # minutes
+        logins = [d * DAY + 9 * HOUR + jitter[d] * MIN for d in range(28)]
+        store = store_with_logins(logins)
+        predicted = predict_next_activity(
+            store, ProRPConfig(), 27 * DAY + 18 * HOUR
+        )
+        assert predicted.confidence == 1.0
+        assert predicted.start == 28 * DAY + 9 * HOUR - 7 * MIN
+
+    def test_no_history_returns_sentinel(self):
+        predicted = predict_next_activity(
+            HistoryStore(), ProRPConfig(), 30 * DAY
+        )
+        assert predicted.is_empty
+        assert predicted == PredictedActivity.none()
+
+    def test_partial_history_confidence(self):
+        """Activity on only 7 of the last 28 days -> confidence 0.25."""
+        store = self._history(days=28)
+        # Remove 21 days of logins by building a 7-day history instead.
+        store = store_with_logins(
+            [d * DAY + 9 * HOUR for d in range(21, 28)]
+        )
+        predicted = predict_next_activity(
+            store, ProRPConfig(), 27 * DAY + 18 * HOUR
+        )
+        assert predicted.confidence == pytest.approx(7 / 28)
+
+    def test_confidence_threshold_filters(self):
+        store = store_with_logins([d * DAY + 9 * HOUR for d in range(26, 28)])
+        config = ProRPConfig(confidence=0.5)
+        predicted = predict_next_activity(store, config, 27 * DAY + 18 * HOUR)
+        assert predicted.is_empty
+
+    def test_adjacent_window_with_higher_confidence_refines(self):
+        """A directly following window with strictly higher probability
+        refines the seed prediction (the paper's 'earliest start and the
+        highest confidence')."""
+        logins = []
+        for d in range(28):
+            # Even days at 05:00, odd days at 05:04: one 5-minute slide
+            # after the seeding window, both populations are covered.
+            tod = 5 * HOUR if d % 2 == 0 else 5 * HOUR + 4 * MIN
+            logins.append(d * DAY + tod)
+        store = store_with_logins(logins)
+        config = ProRPConfig(confidence=0.4, window_s=2 * HOUR)
+        now = 27 * DAY + 22 * HOUR
+        predicted = predict_next_activity(store, config, now)
+        # Seed window sees only the even-day logins (14/28 = 0.5); the next
+        # window sees all 28 days and refines the prediction.
+        assert predicted.confidence == 1.0
+        assert predicted.start == 28 * DAY + 5 * HOUR
+        assert predicted.end == 28 * DAY + 5 * HOUR + 4 * MIN
+
+    def test_scan_breaks_after_first_plateau(self):
+        """Once a prediction exists, a non-improving window stops the scan:
+        a *later* equally-confident activity cannot displace the earliest
+        one (Algorithm 4's break)."""
+        logins = []
+        for d in range(28):
+            logins.append(d * DAY + 6 * HOUR)
+            logins.append(d * DAY + 13 * HOUR)
+        store = store_with_logins(logins)
+        config = ProRPConfig(confidence=0.5, window_s=2 * HOUR)
+        predicted = predict_next_activity(store, config, 27 * DAY + 22 * HOUR)
+        assert predicted.start == 28 * DAY + 6 * HOUR
+        assert predicted.confidence == 1.0
+
+    def test_activity_end_events_ignored(self):
+        """Only event_type = 1 rows count as logins (Algorithm 4 line 22)."""
+        store = HistoryStore()
+        for d in range(28):
+            store.insert_history(d * DAY + 9 * HOUR, EventType.ACTIVITY_START)
+            store.insert_history(d * DAY + 17 * HOUR, EventType.ACTIVITY_END)
+        predicted = predict_next_activity(
+            store, ProRPConfig(), 27 * DAY + 18 * HOUR
+        )
+        assert predicted.start == predicted.end == 28 * DAY + 9 * HOUR
+
+
+class TestWeeklySeasonality:
+    def test_weekly_pattern_with_weekly_seasonality(self):
+        """Monday-only activity: daily seasonality confidence is 4/28, the
+        weekly detector sees 4/4."""
+        logins = [week * 7 * DAY + 9 * HOUR for week in range(4)]
+        store = store_with_logins(logins)
+        now = 3 * 7 * DAY + 18 * HOUR  # the 4th Monday evening
+        daily = predict_next_activity(store, ProRPConfig(confidence=0.2), now)
+        assert daily.is_empty
+        weekly_config = ProRPConfig(
+            confidence=0.2,
+            seasonality=Seasonality.WEEKLY,
+            horizon_s=7 * DAY,
+        )
+        weekly = predict_next_activity(store, weekly_config, now)
+        assert weekly.confidence == 1.0
+        assert weekly.start == 4 * 7 * DAY + 9 * HOUR
+
+    def test_daily_low_threshold_still_catches_weekly(self):
+        """The production default c=0.1 keeps weekly patterns visible to the
+        daily detector (4/28 = 0.14 >= 0.1), as Section 9.2 implies."""
+        logins = [week * 7 * DAY + 9 * HOUR for week in range(4)]
+        store = store_with_logins(logins)
+        predicted = predict_next_activity(
+            store, ProRPConfig(), 3 * 7 * DAY + 18 * HOUR
+        )
+        assert not predicted.is_empty
+        assert predicted.confidence == pytest.approx(4 / 28)
+
+
+class TestHorizonBounds:
+    def test_prediction_start_within_horizon(self):
+        store = store_with_logins([d * DAY + 9 * HOUR for d in range(28)])
+        config = ProRPConfig()
+        now = 27 * DAY + 18 * HOUR
+        predicted = predict_next_activity(store, config, now)
+        assert now <= predicted.start <= now + config.horizon_s
+
+    def test_alternating_days_predicted_daily_regardless_of_parity(self):
+        """The daily detector cannot represent every-other-day patterns: it
+        predicts the historical time-of-day for *tomorrow* even on off days
+        (a documented limitation of daily seasonality)."""
+        store = store_with_logins([d * DAY for d in range(0, 28, 2)])
+        predicted = predict_next_activity(
+            store, ProRPConfig(confidence=0.4), 26 * DAY + 1 * HOUR
+        )
+        assert not predicted.is_empty
+        # Day 27 carries no real login, but half the historical days do.
+        assert predicted.start == 27 * DAY
+        assert predicted.confidence == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence (B-tree reference vs SQL procedures vs NumPy)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def history_and_config(draw):
+    h_days = draw(st.integers(min_value=1, max_value=6))
+    window_h = draw(st.integers(min_value=1, max_value=7))
+    slide_min = draw(st.sampled_from([30, 60, 120]))
+    confidence = draw(st.sampled_from([0.1, 0.25, 0.5, 0.9]))
+    config = ProRPConfig(
+        history_days=h_days,
+        window_s=window_h * HOUR,
+        slide_s=slide_min * MIN,
+        confidence=confidence,
+    )
+    now = draw(st.integers(min_value=h_days * DAY, max_value=h_days * DAY + DAY))
+    logins = draw(
+        st.lists(
+            st.integers(min_value=max(0, now - h_days * DAY), max_value=now),
+            unique=True,
+            min_size=0,
+            max_size=40,
+        )
+    )
+    return config, now, sorted(logins)
+
+
+@settings(max_examples=50, deadline=None)
+@given(history_and_config())
+def test_fast_predictor_equivalent_to_reference(case):
+    config, now, logins = case
+    store = store_with_logins(logins)
+    reference = predict_next_activity(store, config, now)
+    fast = FastPredictor(config).predict(logins, now)
+    assert fast == reference
+
+
+@settings(max_examples=15, deadline=None)
+@given(history_and_config())
+def test_sql_backend_equivalent_to_reference(case):
+    config, now, logins = case
+    reference = predict_next_activity(store_with_logins(logins), config, now)
+    sql_store = SqlHistoryProcedures()
+    for t in logins:
+        sql_store.insert_history(t, EventType.ACTIVITY_START)
+    via_sql = predict_next_activity(sql_store, config, now)
+    assert via_sql == reference
+
+
+def test_fast_predictor_empty_history():
+    config = ProRPConfig()
+    assert FastPredictor(config).predict([], 30 * DAY).is_empty
+
+
+def test_fast_predictor_reusable_across_databases():
+    """One FastPredictor instance serves many databases (grid is per-config)."""
+    config = ProRPConfig(history_days=2, slide_s=30 * MIN)
+    predictor = FastPredictor(config)
+    a = predictor.predict([DAY + 9 * HOUR, 9 * HOUR], 2 * DAY)
+    b = predictor.predict([], 2 * DAY)
+    assert not a.is_empty and b.is_empty
+
+
+# ---------------------------------------------------------------------------
+# Invariants the policy relies on
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(history_and_config())
+def test_prediction_invariants(case):
+    """Whatever the history: a non-empty prediction starts at or after
+    `now`, ends no earlier than it starts, stays within reach of the
+    horizon, and carries a confidence at or above the threshold."""
+    config, now, logins = case
+    predicted = predict_next_activity(store_with_logins(logins), config, now)
+    if predicted.is_empty:
+        assert predicted.confidence == 0.0
+        return
+    assert now <= predicted.start
+    assert predicted.start <= predicted.end
+    # The last candidate window starts at now + p - w; its activity span
+    # cannot extend past now + p.
+    assert predicted.end <= now + config.horizon_s
+    assert config.confidence <= predicted.confidence <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(
+        st.integers(min_value=0, max_value=28 * DAY),
+        unique=True,
+        min_size=0,
+        max_size=50,
+    ),
+)
+def test_weekly_seasonality_backends_equivalent(now_offset, logins):
+    """Fast/reference equivalence holds for the weekly variant too."""
+    config = ProRPConfig(
+        seasonality=Seasonality.WEEKLY,
+        horizon_s=7 * DAY,
+        slide_s=2 * HOUR,
+        confidence=0.25,
+    )
+    now = 28 * DAY + now_offset
+    reference = predict_next_activity(store_with_logins(sorted(logins)), config, now)
+    fast = FastPredictor(config).predict(sorted(logins), now)
+    assert fast == reference

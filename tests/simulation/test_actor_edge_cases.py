@@ -1,0 +1,151 @@
+"""Edge cases of the policy actors: races, capacity pressure, and the
+resume-service interaction."""
+
+import pytest
+
+from repro.config import ProRPConfig
+from repro.simulation import SimulationSettings, simulate_region
+from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_MINUTE
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+MIN = SECONDS_PER_MINUTE
+
+
+def daily_trace(days=31, start_h=9, database_id="daily"):
+    return ActivityTrace(
+        database_id,
+        [Session(d * DAY + start_h * HOUR, d * DAY + 17 * HOUR) for d in range(days)],
+        created_at=0,
+    )
+
+
+class TestPrewarmLoginRaces:
+    def test_login_exactly_at_predicted_start(self):
+        """Login lands exactly at the predicted start: pre-warm already
+        happened k minutes earlier, so the login is served."""
+        trace = daily_trace()
+        settings = SimulationSettings(
+            eval_start=29 * DAY, eval_end=30 * DAY, resume_latency_jitter_s=0
+        )
+        kpis = simulate_region([trace], "proactive", settings=settings).kpis()
+        assert kpis.logins.with_resources == 1
+
+    def test_login_before_prewarm_is_reactive(self):
+        """The customer shows up 2 hours earlier than every historical
+        login: the pre-warm has not fired yet, so the login is reactive --
+        and a wrong pre-warm never happens because the database is already
+        resumed when the predicted minute arrives."""
+        sessions = [
+            Session(d * DAY + 9 * HOUR, d * DAY + 17 * HOUR) for d in range(29)
+        ]
+        sessions.append(Session(29 * DAY + 7 * HOUR, 29 * DAY + 17 * HOUR))
+        trace = ActivityTrace("early", sessions, created_at=0)
+        settings = SimulationSettings(
+            eval_start=29 * DAY, eval_end=30 * DAY, resume_latency_jitter_s=0
+        )
+        kpis = simulate_region([trace], "proactive", settings=settings).kpis()
+        assert kpis.logins.reactive == 1
+        assert kpis.workflows.proactive_resumes == 0
+        assert kpis.workflows.wrong_proactive_resumes == 0
+
+    def test_prewarm_skipped_if_reactively_resumed_same_minute(self):
+        """A login a few seconds before the pre-warm tick must not double
+        allocate: the service sees the database is no longer physically
+        paused and skips it."""
+        sessions = [
+            Session(d * DAY + 9 * HOUR, d * DAY + 17 * HOUR) for d in range(29)
+        ]
+        # Day 29: login 20 minutes early -- before the pre-warm window.
+        sessions.append(Session(29 * DAY + 9 * HOUR - 20 * MIN, 29 * DAY + 17 * HOUR))
+        trace = ActivityTrace("racer", sessions, created_at=0)
+        settings = SimulationSettings(
+            eval_start=29 * DAY, eval_end=30 * DAY, resume_latency_jitter_s=0
+        )
+        result = simulate_region([trace], "proactive", settings=settings)
+        kpis = result.kpis()
+        # Exactly one allocation path ran.
+        assert kpis.workflows.reactive_resumes + kpis.workflows.proactive_resumes == 1
+        assert kpis.accounted_seconds() == kpis.fleet_seconds
+
+
+class TestCapacityPressure:
+    def test_moves_happen_on_tiny_nodes(self):
+        """Staggered demand on capacity-1 nodes forces a tenant move (the
+        Section 1 worst case) yet accounting stays exact.
+
+        Placement balances residents (db-0, db-2 on node A; db-1 on B), but
+        db-2 resumes at 08:00 and fills A, so db-0's 09:00 resume must move
+        it to B -- whose own resident only works afternoons.
+        """
+
+        def trace(name, start_h, end_h):
+            return ActivityTrace(
+                name,
+                [
+                    Session(d * DAY + start_h * HOUR, d * DAY + end_h * HOUR)
+                    for d in range(31)
+                ],
+                created_at=0,
+            )
+
+        traces = [
+            trace("db-0", 9, 12),
+            trace("db-1", 13, 17),
+            trace("db-2", 8, 17),
+        ]
+        settings = SimulationSettings(
+            eval_start=29 * DAY,
+            eval_end=30 * DAY,
+            n_nodes=2,
+            node_capacity=1,
+            resume_latency_jitter_s=0,
+        )
+        result = simulate_region(traces, "reactive", settings=settings)
+        kpis = result.kpis()
+        assert result.cluster_moves > 0
+        assert kpis.accounted_seconds() == kpis.fleet_seconds
+        # A moved resume pays move_latency_s on top of the base latency.
+        assert kpis.unavailable_s > 45 * kpis.logins.total
+
+
+class TestResumeServicePeriodBoundary:
+    def test_prediction_on_period_boundary_prewarmed_once(self):
+        """A predicted start exactly on a tick boundary must be selected by
+        exactly one iteration (the second sees the state changed)."""
+        trace = daily_trace()
+        config = ProRPConfig(resume_operation_period_s=60)
+        settings = SimulationSettings(
+            eval_start=29 * DAY, eval_end=30 * DAY, resume_latency_jitter_s=0
+        )
+        result = simulate_region([trace], "proactive", config, settings)
+        assert result.kpis().workflows.proactive_resumes == 1
+
+    def test_very_long_period_can_miss_prewarm(self):
+        """With a 6-hour operation period the pre-warm window (one period
+        wide starting at now+k) can overshoot: the login may arrive before
+        any iteration selects the database, falling back to reactive."""
+        trace = daily_trace()
+        config = ProRPConfig(resume_operation_period_s=6 * HOUR)
+        settings = SimulationSettings(
+            eval_start=29 * DAY, eval_end=30 * DAY, resume_latency_jitter_s=0
+        )
+        kpis = simulate_region([trace], "proactive", config, settings).kpis()
+        assert kpis.logins.total == 1
+        # Either path is acceptable; the run must stay consistent.
+        assert kpis.accounted_seconds() == kpis.fleet_seconds
+
+
+class TestZeroPrewarmInterval:
+    def test_k_zero_still_serves_when_login_later_in_window(self):
+        """k = 0 pre-warms at the tick covering the predicted start; with
+        jitter-free logins the allocation still beats the customer."""
+        trace = daily_trace()
+        config = ProRPConfig(prewarm_s=0)
+        settings = SimulationSettings(
+            eval_start=29 * DAY, eval_end=30 * DAY, resume_latency_jitter_s=0
+        )
+        kpis = simulate_region([trace], "proactive", config, settings).kpis()
+        assert kpis.accounted_seconds() == kpis.fleet_seconds
+        assert kpis.logins.total == 1

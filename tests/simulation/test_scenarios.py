@@ -1,0 +1,248 @@
+"""End-to-end single-database scenarios: Algorithm 1 driving one database
+through known workloads with deterministic settings."""
+
+import pytest
+
+from repro.config import ProRPConfig
+from repro.core.policy import PolicyKind
+from repro.simulation import SimulationSettings, simulate_region
+from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_MINUTE
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+MIN = SECONDS_PER_MINUTE
+
+
+def deterministic_settings(eval_start, eval_end, **overrides):
+    defaults = dict(
+        eval_start=eval_start,
+        eval_end=eval_end,
+        warmup_s=DAY,
+        resume_latency_s=60,
+        resume_latency_jitter_s=0,
+        move_latency_s=120,
+        n_nodes=2,
+        node_capacity=16,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SimulationSettings(**defaults)
+
+
+def daily_trace(days, start_h=9, end_h=17, database_id="daily"):
+    """One 8-hour session per day, perfectly regular."""
+    sessions = [
+        Session(d * DAY + start_h * HOUR, d * DAY + end_h * HOUR)
+        for d in range(days)
+    ]
+    return ActivityTrace(database_id, sessions, created_at=0)
+
+
+class TestProactiveDailyDatabase:
+    """A perfectly daily database: the showcase of the proactive policy."""
+
+    def _run(self):
+        trace = daily_trace(31)
+        settings = deterministic_settings(29 * DAY, 30 * DAY)
+        return simulate_region([trace], PolicyKind.PROACTIVE, settings=settings)
+
+    def test_login_served_by_prewarm(self):
+        kpis = self._run().kpis()
+        assert kpis.logins.total == 1
+        assert kpis.logins.with_resources == 1
+        assert kpis.logins.reactive == 0
+        assert kpis.qos_percent == 100.0
+
+    def test_proactive_resume_correct_and_cheap(self):
+        kpis = self._run().kpis()
+        assert kpis.workflows.proactive_resumes == 1
+        assert kpis.workflows.correct_proactive_resumes == 1
+        assert kpis.workflows.wrong_proactive_resumes == 0
+        # Pre-warm lands k (+ up to one operation period) ahead of the
+        # predicted 09:00 login: a few minutes of correct-proactive idle.
+        assert 0 < kpis.idle.correct_proactive_s <= 7 * MIN
+        assert kpis.idle.logical_pause_s == 0
+
+    def test_physical_pause_directly_after_work(self):
+        """Next activity is ~16h away > l=7h: Algorithm 1 line 10 pauses
+        physically straight from RESUMED, skipping the logical pause."""
+        kpis = self._run().kpis()
+        assert kpis.workflows.physical_pauses == 1
+        assert kpis.workflows.logical_pauses == 0
+
+    def test_no_unavailable_time(self):
+        kpis = self._run().kpis()
+        assert kpis.unavailable_s == 0
+        assert kpis.used_s == 8 * HOUR
+
+    def test_accounting_identity(self):
+        kpis = self._run().kpis()
+        assert kpis.accounted_seconds() == kpis.fleet_seconds
+
+
+class TestReactiveDailyDatabase:
+    def _run(self):
+        trace = daily_trace(31)
+        settings = deterministic_settings(29 * DAY, 30 * DAY)
+        return simulate_region([trace], PolicyKind.REACTIVE, settings=settings)
+
+    def test_morning_login_is_reactive(self):
+        """Overnight the reactive policy physically paused (idle > l), so
+        the 09:00 login hits reclaimed resources."""
+        kpis = self._run().kpis()
+        assert kpis.logins.total == 1
+        assert kpis.logins.reactive == 1
+        assert kpis.qos_percent == 0.0
+
+    def test_unavailable_equals_resume_latency(self):
+        kpis = self._run().kpis()
+        assert kpis.unavailable_s == 60
+
+    def test_evening_logical_pause_costs_l(self):
+        """After 17:00 the reactive policy keeps resources for l = 7h."""
+        kpis = self._run().kpis()
+        assert kpis.idle.logical_pause_s == 7 * HOUR
+        assert kpis.workflows.logical_pauses == 1
+        assert kpis.workflows.physical_pauses == 1
+
+    def test_proactive_beats_reactive_on_this_database(self):
+        trace = daily_trace(31)
+        settings = deterministic_settings(29 * DAY, 30 * DAY)
+        reactive = simulate_region([trace], "reactive", settings=settings).kpis()
+        proactive = simulate_region([trace], "proactive", settings=settings).kpis()
+        assert proactive.qos_percent > reactive.qos_percent
+        assert proactive.idle.total_s < reactive.idle.total_s
+        assert proactive.unavailable_s < reactive.unavailable_s
+
+
+class TestWrongProactiveResume:
+    def test_skipped_day_wastes_prewarm(self):
+        """28 days of 09:00 logins, but the evaluation day is skipped: the
+        pre-warm expires unused and is counted as a wrong proactive resume."""
+        sessions = [
+            Session(d * DAY + 9 * HOUR, d * DAY + 17 * HOUR) for d in range(29)
+        ]  # days 0..28; day 29 has NO session
+        trace = ActivityTrace("skipper", sessions, created_at=0)
+        settings = deterministic_settings(29 * DAY, 30 * DAY)
+        kpis = simulate_region([trace], "proactive", settings=settings).kpis()
+        assert kpis.logins.total == 0
+        assert kpis.workflows.proactive_resumes >= 1
+        assert kpis.workflows.wrong_proactive_resumes >= 1
+        assert kpis.workflows.correct_proactive_resumes == 0
+        assert kpis.idle.wrong_proactive_s > 0
+        assert kpis.idle.correct_proactive_s == 0
+
+
+class TestNewDatabase:
+    def test_new_database_defaults_to_reactive_behaviour(self):
+        """A database younger than h days: logical pause on idle, physical
+        pause after l, never pre-warmed (Section 4)."""
+        created = 28 * DAY + 6 * HOUR
+        sessions = [
+            Session(created, created + HOUR),
+            # Next login 26h later, while physically paused.
+            Session(created + 27 * HOUR, created + 28 * HOUR),
+        ]
+        trace = ActivityTrace("newbie", sessions, created_at=created)
+        settings = deterministic_settings(28 * DAY, 30 * DAY)
+        kpis = simulate_region([trace], "proactive", settings=settings).kpis()
+        assert kpis.workflows.proactive_resumes == 0
+        assert kpis.workflows.logical_pauses >= 1
+        # Exactly l of logical pause after each of the two sessions.
+        assert kpis.idle.logical_pause_s == 2 * 7 * HOUR
+        # Both logins are reactive: the creation login finds no resources
+        # (the database did not exist) and the 26h-later login lands after
+        # the physical pause.
+        assert kpis.logins.reactive == 2
+        assert kpis.logins.with_resources == 0
+
+    def test_first_login_of_brand_new_database_is_reactive(self):
+        created = 29 * DAY + 6 * HOUR
+        trace = ActivityTrace(
+            "fresh", [Session(created, created + HOUR)], created_at=created
+        )
+        settings = deterministic_settings(29 * DAY, 30 * DAY)
+        kpis = simulate_region([trace], "proactive", settings=settings).kpis()
+        assert kpis.logins.total == 1
+        assert kpis.logins.reactive == 1
+
+
+class TestUnpredictableOldDatabase:
+    def test_no_prediction_physical_pause_immediately(self):
+        """An old database whose history shows no repeating pattern: the
+        predictor returns the sentinel and Algorithm 1 line 10 physically
+        pauses without a logical pause."""
+        # One login every 5 days at wildly different hours.
+        sessions = [
+            Session(d * DAY + ((d * 11) % 24) * HOUR, d * DAY + ((d * 11) % 24) * HOUR + 600)
+            for d in range(0, 35, 5)
+        ]
+        trace = ActivityTrace("chaotic", sessions, created_at=0)
+        settings = deterministic_settings(30 * DAY, 34 * DAY)
+        result = simulate_region(
+            [trace],
+            "proactive",
+            config=ProRPConfig(confidence=0.3),
+            settings=settings,
+        )
+        kpis = result.kpis()
+        assert kpis.workflows.proactive_resumes == 0
+        assert kpis.idle.total_s == 0
+        assert kpis.logins.reactive == kpis.logins.total > 0
+
+
+class TestShortSessionDuringResume:
+    def test_session_shorter_than_resume_latency(self):
+        """The customer leaves before the reactive resume completes: the
+        unavailable time is the whole (short) session."""
+        sessions = [Session(d * DAY + ((7 * d) % 20) * HOUR,
+                            d * DAY + ((7 * d) % 20) * HOUR + 1200)
+                    for d in range(0, 28, 4)]
+        final = Session(29 * DAY + 5 * HOUR, 29 * DAY + 5 * HOUR + 10)
+        trace = ActivityTrace("blink", sessions + [final], created_at=0)
+        settings = deterministic_settings(29 * DAY, 30 * DAY,
+                                          resume_latency_s=60)
+        kpis = simulate_region(
+            [trace],
+            "proactive",
+            config=ProRPConfig(confidence=0.5),
+            settings=settings,
+        ).kpis()
+        assert kpis.logins.reactive == 1
+        assert kpis.unavailable_s == 10  # demand ended before resources came
+        assert kpis.used_s == 0
+
+    def test_back_to_back_short_sessions_during_one_resume(self):
+        """A second login lands while the first reactive resume is still in
+        flight; both logins are unserved but the workflow runs once."""
+        history = [Session(d * DAY + ((7 * d) % 20) * HOUR,
+                           d * DAY + ((7 * d) % 20) * HOUR + 1200)
+                   for d in range(0, 28, 4)]
+        s1 = Session(29 * DAY, 29 * DAY + 10)
+        s2 = Session(29 * DAY + 30, 29 * DAY + 40)
+        trace = ActivityTrace("rapid", history + [s1, s2], created_at=0)
+        settings = deterministic_settings(29 * DAY, 30 * DAY,
+                                          resume_latency_s=60)
+        kpis = simulate_region(
+            [trace],
+            "proactive",
+            config=ProRPConfig(confidence=0.5),
+            settings=settings,
+        ).kpis()
+        assert kpis.logins.total == 2
+        assert kpis.logins.reactive == 2
+        assert kpis.workflows.reactive_resumes == 1
+        assert kpis.unavailable_s == 20  # both 10s sessions
+
+
+class TestOptimalPolicy:
+    def test_optimal_is_the_upper_bound(self):
+        trace = daily_trace(31)
+        settings = deterministic_settings(29 * DAY, 30 * DAY)
+        kpis = simulate_region([trace], PolicyKind.OPTIMAL, settings=settings).kpis()
+        assert kpis.qos_percent == 100.0
+        assert kpis.idle.total_s == 0
+        assert kpis.unavailable_s == 0
+        assert kpis.used_s == 8 * HOUR
+        assert kpis.accounted_seconds() == kpis.fleet_seconds

@@ -1,0 +1,230 @@
+"""Tests for BETWEEN, IN, and EXPLAIN support in the SQL engine."""
+
+import pytest
+
+from repro.errors import SqlExecutionError, SqlSyntaxError
+from repro.sqlengine import ast
+from repro.sqlengine.engine import SqlEngine
+from repro.sqlengine.parser import parse
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def engine():
+    database = Database("test")
+    eng = SqlEngine(database)
+    eng.execute(
+        "CREATE TABLE t (id BIGINT PRIMARY KEY, kind TEXT NOT NULL, value FLOAT)"
+    )
+    for i in range(10):
+        eng.execute(
+            "INSERT INTO t (id, kind, value) VALUES (@i, @k, @v)",
+            {"i": i, "k": "even" if i % 2 == 0 else "odd", "v": float(i)},
+        )
+    return eng
+
+
+class TestBetween:
+    def test_parse(self):
+        statement = parse("SELECT * FROM t WHERE id BETWEEN 1 AND 5")
+        assert isinstance(statement.where, ast.Between)
+        assert not statement.where.negated
+
+    def test_parse_not_between(self):
+        statement = parse("SELECT * FROM t WHERE id NOT BETWEEN 1 AND 5")
+        assert statement.where.negated
+
+    def test_between_inclusive(self, engine):
+        rows = engine.execute("SELECT id FROM t WHERE id BETWEEN 3 AND 6").rows
+        assert [r["id"] for r in rows] == [3, 4, 5, 6]
+
+    def test_not_between(self, engine):
+        rows = engine.execute("SELECT id FROM t WHERE id NOT BETWEEN 2 AND 8").rows
+        assert [r["id"] for r in rows] == [0, 1, 9]
+
+    def test_between_with_params(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM t WHERE id BETWEEN @lo AND @hi", {"lo": 1, "hi": 3}
+        ).rows
+        assert [r["id"] for r in rows] == [1, 2, 3]
+
+    def test_between_uses_clustered_index(self, engine):
+        row = engine.execute("EXPLAIN SELECT * FROM t WHERE id BETWEEN 1 AND 5").rows[0]
+        assert row["scan"] == "clustered"
+        assert row["bounds"] == ">= <="
+        assert row["residual"] is False
+
+    def test_not_between_is_residual(self, engine):
+        row = engine.execute(
+            "EXPLAIN SELECT * FROM t WHERE id NOT BETWEEN 1 AND 5"
+        ).rows[0]
+        assert row["scan"] == "full"
+        assert row["residual"] is True
+
+    def test_between_null_semantics(self, engine):
+        engine.execute("INSERT INTO t (id, kind, value) VALUES (100, 'x', NULL)")
+        rows = engine.execute(
+            "SELECT id FROM t WHERE value BETWEEN 0.0 AND 1000.0"
+        ).rows
+        assert 100 not in [r["id"] for r in rows]
+
+    def test_between_and_binds_tighter_than_logical_and(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM t WHERE id BETWEEN 1 AND 6 AND kind = 'even'"
+        ).rows
+        assert [r["id"] for r in rows] == [2, 4, 6]
+
+
+class TestIn:
+    def test_parse(self):
+        statement = parse("SELECT * FROM t WHERE kind IN ('a', 'b')")
+        assert isinstance(statement.where, ast.InList)
+        assert len(statement.where.items) == 2
+
+    def test_in_filter(self, engine):
+        rows = engine.execute("SELECT id FROM t WHERE id IN (1, 5, 99)").rows
+        assert [r["id"] for r in rows] == [1, 5]
+
+    def test_not_in(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM t WHERE id NOT IN (0, 1, 2, 3, 4, 5, 6, 7)"
+        ).rows
+        assert [r["id"] for r in rows] == [8, 9]
+
+    def test_in_with_params(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM t WHERE kind IN (@a, @b) AND id < 4",
+            {"a": "even", "b": "none"},
+        ).rows
+        assert [r["id"] for r in rows] == [0, 2]
+
+    def test_in_with_null_item_is_unknown(self, engine):
+        """x IN (..., NULL) is NULL (not true) when x matches nothing."""
+        rows = engine.execute("SELECT id FROM t WHERE id IN (99, NULL)").rows
+        assert rows == []
+
+    def test_in_type_mismatch(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT id FROM t WHERE id IN ('one')")
+
+
+class TestExplain:
+    def test_explain_point_lookup(self, engine):
+        row = engine.execute("EXPLAIN SELECT * FROM t WHERE id = 3").rows[0]
+        assert row == {
+            "statement": "SELECT",
+            "scan": "clustered",
+            "table": "t",
+            "index_column": "id",
+            "bounds": ">= <=",
+            "residual": False,
+        }
+
+    def test_explain_full_scan(self, engine):
+        row = engine.execute("EXPLAIN SELECT * FROM t WHERE kind = 'x'").rows[0]
+        assert row["scan"] == "full"
+        assert row["index_column"] is None
+
+    def test_explain_delete_and_update(self, engine):
+        for sql in (
+            "EXPLAIN DELETE FROM t WHERE id < 3",
+            "EXPLAIN UPDATE t SET kind = 'y' WHERE id < 3",
+        ):
+            row = engine.execute(sql).rows[0]
+            assert row["scan"] == "clustered"
+            assert row["bounds"] == "<"
+
+    def test_explain_does_not_execute(self, engine):
+        engine.execute("EXPLAIN DELETE FROM t")
+        assert engine.execute("SELECT COUNT(*) AS n FROM t").scalar() == 10
+
+    def test_explain_secondary_index(self):
+        database = Database("test")
+        engine = SqlEngine(database)
+        engine.execute("CREATE TABLE m (id TEXT PRIMARY KEY, ts BIGINT NOT NULL)")
+        engine.execute("CREATE INDEX ON m (ts)")
+        row = engine.execute("EXPLAIN SELECT * FROM m WHERE ts >= 10").rows[0]
+        assert row["scan"] == "secondary"
+        assert row["index_column"] == "ts"
+
+    def test_explain_insert_rejected(self, engine):
+        with pytest.raises(SqlSyntaxError):
+            engine.execute("EXPLAIN INSERT INTO t (id, kind) VALUES (1, 'x')")
+
+    def test_explain_prewarm_scan_uses_secondary_index(self):
+        """Algorithm 5's production query must not scan the whole region."""
+        from repro.sqlengine.procedures import SqlMetadataProcedures, _PREWARM_SCAN
+
+        procs = SqlMetadataProcedures()
+        row = procs.engine.execute(f"EXPLAIN {_PREWARM_SCAN}").rows[0]
+        assert row["scan"] == "secondary"
+        assert row["index_column"] == "start_of_pred_activity"
+        assert row["residual"] is True  # the state = 'physical_pause' filter
+
+class TestGroupBy:
+    def test_count_per_group(self, engine):
+        rows = engine.execute(
+            "SELECT kind, COUNT(*) AS n FROM t GROUP BY kind ORDER BY kind"
+        ).rows
+        assert rows == [{"kind": "even", "n": 5}, {"kind": "odd", "n": 5}]
+
+    def test_min_max_per_group(self, engine):
+        rows = engine.execute(
+            "SELECT kind, MIN(id) AS lo, MAX(id) AS hi FROM t "
+            "GROUP BY kind ORDER BY kind"
+        ).rows
+        assert rows[0] == {"kind": "even", "lo": 0, "hi": 8}
+        assert rows[1] == {"kind": "odd", "lo": 1, "hi": 9}
+
+    def test_where_applies_before_grouping(self, engine):
+        rows = engine.execute(
+            "SELECT kind, COUNT(*) AS n FROM t WHERE id < 5 "
+            "GROUP BY kind ORDER BY kind"
+        ).rows
+        assert rows == [{"kind": "even", "n": 3}, {"kind": "odd", "n": 2}]
+
+    def test_limit_after_grouping(self, engine):
+        rows = engine.execute(
+            "SELECT kind, COUNT(*) AS n FROM t GROUP BY kind "
+            "ORDER BY kind LIMIT 1"
+        ).rows
+        assert rows == [{"kind": "even", "n": 5}]
+
+    def test_alias_on_group_key(self, engine):
+        rows = engine.execute(
+            "SELECT kind AS k, COUNT(*) AS n FROM t GROUP BY kind ORDER BY k"
+        ).rows
+        assert rows[0]["k"] == "even"
+
+    def test_non_aggregated_column_rejected(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT kind, value FROM t GROUP BY kind")
+
+    def test_star_rejected(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT * FROM t GROUP BY kind")
+
+    def test_unknown_group_column(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT bogus, COUNT(*) FROM t GROUP BY bogus")
+
+    def test_region_state_histogram(self):
+        """The domain query GROUP BY exists for: the diagnostics runner's
+        per-state census of sys.databases (how many resumed / paused)."""
+        from repro.sqlengine.procedures import SqlMetadataProcedures
+
+        procs = SqlMetadataProcedures()
+        for i in range(6):
+            procs.register(f"db-{i}")
+        procs.record_physical_pause("db-0", 100)
+        procs.record_physical_pause("db-1", 200)
+        procs.set_state("db-2", "logical_pause")
+        rows = procs.engine.execute(
+            "SELECT state, COUNT(*) AS n FROM sys.databases "
+            "GROUP BY state ORDER BY state"
+        ).rows
+        assert rows == [
+            {"state": "logical_pause", "n": 1},
+            {"state": "physical_pause", "n": 2},
+            {"state": "resumed", "n": 3},
+        ]

@@ -1,0 +1,267 @@
+"""Tests for planning and executing SQL against the storage substrate."""
+
+import pytest
+
+from repro.errors import (
+    SqlBindingError,
+    SqlExecutionError,
+    TableNotFoundError,
+)
+from repro.sqlengine.engine import SqlEngine
+from repro.sqlengine.parser import parse
+from repro.sqlengine.planner import plan_scan
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def engine():
+    database = Database("test")
+    eng = SqlEngine(database)
+    eng.execute(
+        "CREATE TABLE t (id BIGINT PRIMARY KEY, kind TEXT NOT NULL, value FLOAT)"
+    )
+    for i in range(10):
+        eng.execute(
+            "INSERT INTO t (id, kind, value) VALUES (@i, @k, @v)",
+            {"i": i, "k": "even" if i % 2 == 0 else "odd", "v": float(i)},
+        )
+    return eng
+
+
+class TestSelect:
+    def test_select_star(self, engine):
+        result = engine.execute("SELECT * FROM t")
+        assert result.rowcount == 10
+        assert result.rows[0] == {"id": 0, "kind": "even", "value": 0.0}
+
+    def test_select_projection(self, engine):
+        rows = engine.execute("SELECT id FROM t WHERE id < 3").rows
+        assert rows == [{"id": 0}, {"id": 1}, {"id": 2}]
+
+    def test_where_equality_on_pk(self, engine):
+        rows = engine.execute("SELECT * FROM t WHERE id = 4").rows
+        assert len(rows) == 1 and rows[0]["id"] == 4
+
+    def test_where_range_with_params(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM t WHERE @lo <= id AND id <= @hi",
+            {"lo": 3, "hi": 6},
+        ).rows
+        assert [r["id"] for r in rows] == [3, 4, 5, 6]
+
+    def test_where_arithmetic_bound(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM t WHERE id < @base + 2", {"base": 1}
+        ).rows
+        assert [r["id"] for r in rows] == [0, 1, 2]
+
+    def test_where_non_indexed_column(self, engine):
+        rows = engine.execute("SELECT id FROM t WHERE kind = 'even'").rows
+        assert [r["id"] for r in rows] == [0, 2, 4, 6, 8]
+
+    def test_where_or(self, engine):
+        rows = engine.execute("SELECT id FROM t WHERE id = 1 OR id = 8").rows
+        assert [r["id"] for r in rows] == [1, 8]
+
+    def test_order_by_desc_and_limit(self, engine):
+        rows = engine.execute("SELECT id FROM t ORDER BY id DESC LIMIT 3").rows
+        assert [r["id"] for r in rows] == [9, 8, 7]
+
+    def test_select_expression_item(self, engine):
+        rows = engine.execute("SELECT id + 100 AS shifted FROM t WHERE id = 1").rows
+        assert rows == [{"shifted": 101}]
+
+    def test_select_constant_no_table(self, engine):
+        assert engine.execute("SELECT 2 * 3 AS v").rows == [{"v": 6}]
+
+    def test_unbound_param_raises(self, engine):
+        with pytest.raises(SqlBindingError):
+            engine.execute("SELECT * FROM t WHERE id = @missing")
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(TableNotFoundError):
+            engine.execute("SELECT * FROM nope")
+
+    def test_unknown_column_in_where(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT * FROM t WHERE bogus = 1")
+
+    def test_type_mismatch_comparison(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT * FROM t WHERE kind = 5")
+
+
+class TestAggregates:
+    def test_min_max(self, engine):
+        row = engine.execute("SELECT MIN(id) AS lo, MAX(id) AS hi FROM t").rows[0]
+        assert row == {"lo": 0, "hi": 9}
+
+    def test_min_over_empty_is_null(self, engine):
+        row = engine.execute("SELECT MIN(id) AS lo FROM t WHERE id > 100").rows[0]
+        assert row["lo"] is None
+
+    def test_count_star(self, engine):
+        assert engine.execute("SELECT COUNT(*) AS n FROM t").scalar() == 10
+
+    def test_count_column_skips_nulls(self, engine):
+        engine.execute(
+            "INSERT INTO t (id, kind, value) VALUES (100, 'x', NULL)"
+        )
+        assert engine.execute("SELECT COUNT(value) AS n FROM t").scalar() == 10
+
+    def test_aggregate_with_range_filter(self, engine):
+        row = engine.execute(
+            "SELECT MIN(id) AS lo, MAX(id) AS hi FROM t "
+            "WHERE kind = 'odd' AND 2 <= id AND id <= 8"
+        ).rows[0]
+        assert row == {"lo": 3, "hi": 7}
+
+    def test_mixing_aggregate_and_column_rejected(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT MIN(id), kind FROM t")
+
+
+class TestMutations:
+    def test_delete_range(self, engine):
+        result = engine.execute("DELETE FROM t WHERE 3 < id AND id < 7")
+        assert result.rowcount == 3
+        assert engine.execute("SELECT COUNT(*) AS n FROM t").scalar() == 7
+
+    def test_delete_all(self, engine):
+        assert engine.execute("DELETE FROM t").rowcount == 10
+
+    def test_update(self, engine):
+        count = engine.execute(
+            "UPDATE t SET kind = 'changed' WHERE id <= 2"
+        ).rowcount
+        assert count == 3
+        rows = engine.execute("SELECT id FROM t WHERE kind = 'changed'").rows
+        assert [r["id"] for r in rows] == [0, 1, 2]
+
+    def test_update_with_expression(self, engine):
+        engine.execute("UPDATE t SET value = value * 2 WHERE id = 3")
+        row = engine.execute("SELECT value FROM t WHERE id = 3").rows[0]
+        assert row["value"] == 6.0
+
+    def test_insert_null_into_not_null_rejected(self, engine):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            engine.execute("INSERT INTO t (id, kind) VALUES (50, NULL)")
+
+
+class TestNullAndArithmeticSemantics:
+    def test_comparison_with_null_is_not_true(self, engine):
+        engine.execute("INSERT INTO t (id, kind, value) VALUES (100, 'x', NULL)")
+        rows = engine.execute("SELECT id FROM t WHERE value < 1000").rows
+        assert 100 not in [r["id"] for r in rows]
+
+    def test_is_null_filter(self, engine):
+        engine.execute("INSERT INTO t (id, kind, value) VALUES (100, 'x', NULL)")
+        rows = engine.execute("SELECT id FROM t WHERE value IS NULL").rows
+        assert [r["id"] for r in rows] == [100]
+
+    def test_integer_division_truncates(self, engine):
+        assert engine.execute("SELECT 7 / 2 AS v").scalar() == 3
+
+    def test_division_by_zero(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT 1 / 0 AS v")
+
+    def test_tsql_style_duration_arithmetic(self, engine):
+        # The exact expression of Algorithm 3 line 3.
+        row = engine.execute(
+            "SELECT @now - @h * 24 * 60 * 60 AS historyStart",
+            {"now": 100 * 86400, "h": 28},
+        ).rows[0]
+        assert row["historyStart"] == 72 * 86400
+
+
+class TestPlanner:
+    def _plan(self, where_sql, secondary=()):
+        statement = parse(f"SELECT * FROM t WHERE {where_sql}")
+        return plan_scan("t", statement.where, "id", list(secondary))
+
+    def test_pk_range_uses_clustered_index(self):
+        plan = self._plan("@lo <= id AND id < @hi")
+        assert plan.kind == "clustered"
+        assert plan.lower.inclusive and not plan.upper.inclusive
+        assert plan.residual is None
+
+    def test_equality_sets_both_bounds(self):
+        plan = self._plan("id = 5")
+        assert plan.kind == "clustered"
+        assert plan.lower.inclusive and plan.upper.inclusive
+
+    def test_extra_conjunct_becomes_residual(self):
+        plan = self._plan("id >= 1 AND kind = 'x'")
+        assert plan.kind == "clustered"
+        assert plan.residual is not None
+
+    def test_no_index_match_full_scan(self):
+        plan = self._plan("kind = 'x'")
+        assert plan.kind == "full"
+        assert plan.residual is not None
+
+    def test_secondary_index_preferred_over_full_scan(self):
+        plan = self._plan("value >= 1.0", secondary=["value"])
+        assert plan.kind == "secondary"
+        assert plan.index_column == "value"
+
+    def test_or_predicate_never_indexed(self):
+        plan = self._plan("id = 1 OR id = 2")
+        assert plan.kind == "full"
+
+    def test_duplicate_bound_goes_residual(self):
+        plan = self._plan("id >= 1 AND id >= 2")
+        assert plan.kind == "clustered"
+        assert plan.residual is not None
+
+    def test_equality_after_range_goes_residual(self):
+        plan = self._plan("id >= 1 AND id = 5")
+        assert plan.kind == "clustered"
+        # Equality must not silently widen/narrow existing bounds.
+        assert plan.residual is not None
+
+
+class TestSecondaryIndexExecution:
+    def test_secondary_range_scan(self):
+        database = Database("test")
+        engine = SqlEngine(database)
+        engine.execute("CREATE TABLE m (id TEXT PRIMARY KEY, ts BIGINT NOT NULL)")
+        engine.execute("CREATE INDEX ON m (ts)")
+        for i in range(20):
+            engine.execute(
+                "INSERT INTO m (id, ts) VALUES (@id, @ts)",
+                {"id": f"db-{i:02d}", "ts": i * 10},
+            )
+        rows = engine.execute(
+            "SELECT id FROM m WHERE @lo <= ts AND ts <= @hi",
+            {"lo": 50, "hi": 80},
+        ).rows
+        assert [r["id"] for r in rows] == ["db-05", "db-06", "db-07", "db-08"]
+
+    def test_strict_bounds_on_secondary(self):
+        database = Database("test")
+        engine = SqlEngine(database)
+        engine.execute("CREATE TABLE m (id TEXT PRIMARY KEY, ts BIGINT NOT NULL)")
+        engine.execute("CREATE INDEX ON m (ts)")
+        for i in range(5):
+            engine.execute(
+                "INSERT INTO m (id, ts) VALUES (@id, @ts)", {"id": str(i), "ts": i}
+            )
+        rows = engine.execute("SELECT id FROM m WHERE 1 < ts AND ts < 4").rows
+        assert [r["id"] for r in rows] == ["2", "3"]
+
+
+class TestStatementCache:
+    def test_prepare_caches_ast(self, engine):
+        sql = "SELECT * FROM t WHERE id = @x"
+        first = engine.prepare(sql)
+        second = engine.prepare(sql)
+        assert first is second
+
+    def test_scalar_helpers(self, engine):
+        assert engine.execute("SELECT MAX(id) AS m FROM t").scalar() == 9
+        assert engine.exists("SELECT * FROM t WHERE id = 3")
+        assert not engine.exists("SELECT * FROM t WHERE id = 333")

@@ -1,0 +1,167 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine import ast
+from repro.sqlengine.lexer import TokenType, tokenize
+from repro.sqlengine.parser import parse
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_dotted_identifier(self):
+        tokens = tokenize("sys.pause_resume_history")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "sys.pause_resume_history"
+
+    def test_param(self):
+        tokens = tokenize("@now")
+        assert tokens[0].type is TokenType.PARAM
+        assert tokens[0].value == "now"
+
+    def test_empty_param_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("@ 5")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[1].type is TokenType.FLOAT
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= <> !=")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "<>", "!="]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT ;")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestParser:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement, ast.Select)
+        assert statement.items[0].star
+        assert statement.table == "t"
+
+    def test_select_with_where_and_params(self):
+        statement = parse(
+            "SELECT a, b FROM t WHERE a = @x AND b < @y + 1"
+        )
+        assert len(statement.items) == 2
+        conjuncts = statement.where
+        assert isinstance(conjuncts, ast.BinaryOp) and conjuncts.op == "AND"
+
+    def test_select_alias(self):
+        statement = parse("SELECT MIN(a) AS lo FROM t")
+        assert statement.items[0].alias == "lo"
+        assert isinstance(statement.items[0].expression, ast.Aggregate)
+
+    def test_select_order_limit(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert statement.order_by == (
+            ast.OrderItem("a", True),
+            ast.OrderItem("b", False),
+        )
+        assert statement.limit == 5
+
+    def test_select_constant_without_table(self):
+        statement = parse("SELECT 1 + 2 AS three")
+        assert statement.table is None
+
+    def test_count_star(self):
+        statement = parse("SELECT COUNT(*) FROM t")
+        aggregate = statement.items[0].expression
+        assert aggregate.func == "COUNT" and aggregate.argument is None
+
+    def test_insert(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (@x, 2)")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ("a", "b")
+        assert statement.values[0] == ast.Param("x")
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a < 5")
+        assert isinstance(statement, ast.Delete)
+        assert statement.where is not None
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = @v WHERE c = 'x'")
+        assert isinstance(statement, ast.Update)
+        assert [a.column for a in statement.assignments] == ["a", "b"]
+
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id BIGINT PRIMARY KEY, name TEXT NOT NULL, score FLOAT)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].not_null
+        assert not statement.columns[2].not_null
+
+    def test_create_index(self):
+        statement = parse("CREATE INDEX ON t (col)")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.column == "col"
+
+    def test_is_null(self):
+        statement = parse("SELECT a FROM t WHERE a IS NOT NULL")
+        assert isinstance(statement.where, ast.IsNull)
+        assert statement.where.negated
+
+    def test_operator_precedence(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert statement.where.op == "OR"
+        assert statement.where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        statement = parse("SELECT 1 + 2 * 3 AS v")
+        expression = statement.items[0].expression
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        statement = parse("SELECT (1 + 2) * 3 AS v")
+        assert statement.items[0].expression.op == "*"
+
+    def test_unary_minus(self):
+        statement = parse("SELECT -5 AS v")
+        assert isinstance(statement.items[0].expression, ast.UnaryOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t garbage garbage")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("DROP TABLE t")
+
+    def test_missing_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM WHERE a = 1")

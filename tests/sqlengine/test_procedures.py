@@ -1,0 +1,106 @@
+"""Equivalence tests: the SQL-text stored procedures (Algorithms 2/3/5)
+must behave exactly like the direct B-tree implementations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine.procedures import SqlHistoryProcedures, SqlMetadataProcedures
+from repro.storage.history import HistoryStore
+from repro.storage.metadata import DatabaseState, MetadataStore
+from repro.types import EventType, SECONDS_PER_DAY, SECONDS_PER_MINUTE
+
+DAY = SECONDS_PER_DAY
+MIN = SECONDS_PER_MINUTE
+
+
+class TestSqlHistoryProcedures:
+    def test_insert_history_uniqueness(self):
+        proc = SqlHistoryProcedures()
+        assert proc.insert_history(100, EventType.ACTIVITY_START) is True
+        assert proc.insert_history(100, EventType.ACTIVITY_END) is False
+        assert proc.tuple_count == 1
+
+    def test_delete_old_history_matches_algorithm3(self):
+        proc = SqlHistoryProcedures()
+        now = 100 * DAY
+        oldest = now - 50 * DAY
+        proc.insert_history(oldest, EventType.ACTIVITY_START)
+        proc.insert_history(now - 40 * DAY, EventType.ACTIVITY_END)
+        proc.insert_history(now - 5 * DAY, EventType.ACTIVITY_START)
+        result = proc.delete_old_history(28, now)
+        assert result.old is True
+        assert result.deleted == 1
+        assert proc.min_timestamp() == oldest
+
+    def test_first_last_login_filters_and_bounds(self):
+        proc = SqlHistoryProcedures()
+        proc.insert_history(10, EventType.ACTIVITY_END)
+        proc.insert_history(20, EventType.ACTIVITY_START)
+        proc.insert_history(30, EventType.ACTIVITY_START)
+        assert proc.first_last_login(10, 30) == (20, 30)
+        assert proc.first_last_login(35, 40) == (None, None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=60 * DAY),
+            st.sampled_from([EventType.ACTIVITY_START, EventType.ACTIVITY_END]),
+        ),
+        min_size=0,
+        max_size=60,
+    ),
+    st.integers(min_value=60 * DAY, max_value=90 * DAY),
+    st.integers(min_value=1, max_value=35),
+)
+def test_history_backends_equivalent(events, now, h):
+    """Direct B-tree store and SQL procedures stay observationally equal
+    through inserts, trims, and window queries."""
+    direct = HistoryStore()
+    via_sql = SqlHistoryProcedures()
+    for t, event_type in events:
+        assert direct.insert_history(t, event_type) == via_sql.insert_history(
+            t, event_type
+        )
+    assert direct.tuple_count == via_sql.tuple_count
+    assert direct.min_timestamp() == via_sql.min_timestamp()
+    r1 = direct.delete_old_history(h, now)
+    r2 = via_sql.delete_old_history(h, now)
+    assert (r1.old, r1.deleted, r1.min_timestamp) == (r2.old, r2.deleted, r2.min_timestamp)
+    assert direct.all_events() == via_sql.all_events()
+    assert list(direct.login_timestamps()) == list(via_sql.login_timestamps())
+    # Window queries across the retained range agree.
+    for lo in range(0, 60 * DAY, 13 * DAY):
+        hi = lo + 9 * DAY
+        assert direct.first_last_login(lo, hi) == via_sql.first_last_login(lo, hi)
+
+
+class TestSqlMetadataProcedures:
+    def test_prewarm_scan_matches_direct_store(self):
+        direct = MetadataStore()
+        via_sql = SqlMetadataProcedures()
+        now, k = 1000 * MIN, 5 * MIN
+        starts = {
+            "a": now + k - 1,
+            "b": now + k,
+            "c": now + k + 30,
+            "d": now + k + MIN,
+            "e": now + k + MIN + 1,
+            "f": 0,  # new database: no prediction
+        }
+        for db_id, start in starts.items():
+            direct.register(db_id)
+            direct.record_physical_pause(db_id, start)
+            via_sql.register(db_id)
+            via_sql.record_physical_pause(db_id, start)
+        got_direct = sorted(direct.databases_to_prewarm(now, k, MIN))
+        got_sql = sorted(via_sql.databases_to_prewarm(now, k, MIN))
+        assert got_direct == got_sql == ["b", "c", "d"]
+
+    def test_state_filter(self):
+        via_sql = SqlMetadataProcedures()
+        via_sql.register("a")
+        via_sql.record_physical_pause("a", 500)
+        via_sql.set_state("a", DatabaseState.RESUMED.value)
+        assert via_sql.databases_to_prewarm(0, 100, 1000) == []

@@ -1,0 +1,134 @@
+"""Tests for the region metadata store and Algorithm 5's scan query."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage.metadata import DatabaseState, MetadataStore
+from repro.types import SECONDS_PER_MINUTE
+
+MIN = SECONDS_PER_MINUTE
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        store = MetadataStore()
+        store.register("db-1", node_id="node-a", created_at=100)
+        record = store.get("db-1")
+        assert record.database_id == "db-1"
+        assert record.state == DatabaseState.RESUMED
+        assert record.start_of_pred_activity == 0
+        assert record.node_id == "node-a"
+        assert record.created_at == 100
+        assert not record.has_prediction
+
+    def test_register_duplicate_rejected(self):
+        store = MetadataStore()
+        store.register("db-1")
+        with pytest.raises(DuplicateKeyError):
+            store.register("db-1")
+
+    def test_get_unregistered_raises(self):
+        store = MetadataStore()
+        with pytest.raises(StorageError):
+            store.get("nope")
+
+    def test_len_counts_databases(self):
+        store = MetadataStore()
+        for i in range(5):
+            store.register(f"db-{i}")
+        assert len(store) == 5
+
+
+class TestStateTransitions:
+    def test_set_state(self):
+        store = MetadataStore()
+        store.register("db-1")
+        store.set_state("db-1", DatabaseState.LOGICAL_PAUSE)
+        assert store.get("db-1").state == DatabaseState.LOGICAL_PAUSE
+
+    def test_set_state_unregistered_raises(self):
+        store = MetadataStore()
+        with pytest.raises(StorageError):
+            store.set_state("nope", DatabaseState.RESUMED)
+
+    def test_record_physical_pause_stores_prediction(self):
+        """Algorithm 1 line 31: InsertMetadata(nextActivity.start)."""
+        store = MetadataStore()
+        store.register("db-1")
+        store.record_physical_pause("db-1", pred_start=5000)
+        record = store.get("db-1")
+        assert record.state == DatabaseState.PHYSICAL_PAUSE
+        assert record.start_of_pred_activity == 5000
+        assert record.has_prediction
+
+    def test_clear_prediction(self):
+        store = MetadataStore()
+        store.register("db-1")
+        store.record_physical_pause("db-1", 5000)
+        store.clear_prediction("db-1")
+        assert store.get("db-1").start_of_pred_activity == 0
+
+    def test_set_node(self):
+        store = MetadataStore()
+        store.register("db-1")
+        store.set_node("db-1", "node-b")
+        assert store.get("db-1").node_id == "node-b"
+
+    def test_state_counts(self):
+        store = MetadataStore()
+        store.register("a")
+        store.register("b")
+        store.register("c")
+        store.record_physical_pause("c", 100)
+        counts = store.state_counts()
+        assert counts[DatabaseState.RESUMED] == 2
+        assert counts[DatabaseState.PHYSICAL_PAUSE] == 1
+
+
+class TestPrewarmScan:
+    """The SELECT of Algorithm 5: physically paused databases whose
+    predicted activity starts during the k-th minute from now."""
+
+    def _store(self):
+        store = MetadataStore()
+        now = 1000 * MIN
+        k = 5 * MIN
+        # Predicted starts relative to now + k.
+        layout = {
+            "too-early": now + k - 1,
+            "at-window-start": now + k + 1,
+            "mid-window": now + k + 30,
+            "at-window-end": now + k + MIN,
+            "too-late": now + k + MIN + 1,
+        }
+        for db_id, start in layout.items():
+            store.register(db_id)
+            store.record_physical_pause(db_id, start)
+        return store, now, k
+
+    def test_selects_only_window(self):
+        store, now, k = self._store()
+        selected = store.databases_to_prewarm(now, k, MIN)
+        assert set(selected) == {"at-window-start", "mid-window", "at-window-end"}
+
+    def test_ignores_non_paused_states(self):
+        store, now, k = self._store()
+        store.set_state("mid-window", DatabaseState.RESUMED)
+        selected = store.databases_to_prewarm(now, k, MIN)
+        assert "mid-window" not in selected
+
+    def test_ignores_no_prediction_sentinel(self):
+        store = MetadataStore()
+        store.register("db-1")
+        store.record_physical_pause("db-1", 0)  # new database: no prediction
+        assert store.databases_to_prewarm(10 * MIN, 5 * MIN, MIN) == []
+
+    def test_wider_period_selects_more(self):
+        store, now, k = self._store()
+        selected = store.databases_to_prewarm(now, k, 2 * MIN)
+        assert "too-late" in selected
+
+    def test_databases_in_state(self):
+        store, _, __ = self._store()
+        assert len(store.databases_in_state(DatabaseState.PHYSICAL_PAUSE)) == 5
+        assert store.databases_in_state(DatabaseState.RESUMED) == []

@@ -1,0 +1,254 @@
+"""Tests for typed schemas and tables with clustered/secondary indexes."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, SchemaError, StorageError
+from repro.storage.schema import (
+    Column,
+    ColumnType,
+    TableSchema,
+    history_schema,
+    metadata_schema,
+)
+from repro.storage.table import Table
+
+
+def users_schema():
+    return TableSchema(
+        name="users",
+        columns=(
+            Column("id", ColumnType.BIGINT, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("score", ColumnType.FLOAT),
+        ),
+        primary_key="id",
+    )
+
+
+class TestColumnType:
+    def test_bigint_accepts_int(self):
+        assert ColumnType.BIGINT.validate(42) == 42
+
+    def test_bigint_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.BIGINT.validate(True)
+
+    def test_bigint_rejects_str(self):
+        with pytest.raises(SchemaError):
+            ColumnType.BIGINT.validate("42")
+
+    def test_float_coerces_int(self):
+        value = ColumnType.FLOAT.validate(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_text_rejects_int(self):
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(1)
+
+    def test_none_passes_through(self):
+        assert ColumnType.INT.validate(None) is None
+
+
+class TestTableSchema:
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", ColumnType.INT), Column("a", ColumnType.INT)),
+                primary_key="a",
+            )
+
+    def test_primary_key_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", ColumnType.INT),), primary_key="b")
+
+    def test_validate_row_defaults_missing_nullable(self):
+        schema = users_schema()
+        values = schema.validate_row({"id": 1, "name": "n"})
+        assert values == (1, "n", None)
+
+    def test_validate_row_rejects_unknown_column(self):
+        with pytest.raises(SchemaError):
+            users_schema().validate_row({"id": 1, "name": "n", "bogus": 1})
+
+    def test_validate_row_rejects_null_pk(self):
+        with pytest.raises(SchemaError):
+            users_schema().validate_row({"name": "n"})
+
+    def test_validate_row_rejects_not_null_violation(self):
+        with pytest.raises(SchemaError):
+            users_schema().validate_row({"id": 1})
+
+    def test_row_round_trip(self):
+        schema = users_schema()
+        row = {"id": 5, "name": "x", "score": 1.5}
+        assert schema.row_to_dict(schema.validate_row(row)) == row
+
+    def test_history_schema_matches_paper(self):
+        schema = history_schema()
+        assert schema.name == "sys.pause_resume_history"
+        assert schema.column_names == ["time_snapshot", "event_type"]
+        assert schema.primary_key == "time_snapshot"
+
+    def test_metadata_schema_primary_key(self):
+        assert metadata_schema().primary_key == "database_id"
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = Table(users_schema())
+        table.insert({"id": 1, "name": "ada", "score": 9.0})
+        assert table.get(1) == {"id": 1, "name": "ada", "score": 9.0}
+        assert table.get(2) is None
+        assert len(table) == 1
+
+    def test_insert_duplicate_pk(self):
+        table = Table(users_schema())
+        table.insert({"id": 1, "name": "a"})
+        with pytest.raises(DuplicateKeyError):
+            table.insert({"id": 1, "name": "b"})
+
+    def test_insert_if_absent(self):
+        table = Table(users_schema())
+        assert table.insert_if_absent({"id": 1, "name": "a"}) is True
+        assert table.insert_if_absent({"id": 1, "name": "b"}) is False
+        assert table.get(1)["name"] == "a"
+
+    def test_scan_in_key_order(self):
+        table = Table(users_schema())
+        for i in [3, 1, 2]:
+            table.insert({"id": i, "name": str(i)})
+        assert [r["id"] for r in table.scan()] == [1, 2, 3]
+
+    def test_scan_with_predicate(self):
+        table = Table(users_schema())
+        for i in range(5):
+            table.insert({"id": i, "name": "even" if i % 2 == 0 else "odd"})
+        evens = list(table.scan(lambda r: r["name"] == "even"))
+        assert [r["id"] for r in evens] == [0, 2, 4]
+
+    def test_key_range(self):
+        table = Table(users_schema())
+        for i in range(10):
+            table.insert({"id": i, "name": str(i)})
+        assert [r["id"] for r in table.key_range(3, 6)] == [3, 4, 5, 6]
+
+    def test_delete_by_key(self):
+        table = Table(users_schema())
+        table.insert({"id": 1, "name": "a"})
+        assert table.delete_by_key(1) is True
+        assert table.delete_by_key(1) is False
+        assert len(table) == 0
+
+    def test_delete_key_range_exclusive(self):
+        table = Table(users_schema())
+        for i in range(10):
+            table.insert({"id": i, "name": str(i)})
+        deleted = table.delete_key_range(2, 6, include_lo=False, include_hi=False)
+        assert deleted == 3
+        assert [r["id"] for r in table.scan()] == [0, 1, 2, 6, 7, 8, 9]
+
+    def test_delete_where(self):
+        table = Table(users_schema())
+        for i in range(6):
+            table.insert({"id": i, "name": "x" if i < 3 else "y"})
+        assert table.delete_where(lambda r: r["name"] == "x") == 3
+        assert len(table) == 3
+
+    def test_update_by_key(self):
+        table = Table(users_schema())
+        table.insert({"id": 1, "name": "a", "score": 1.0})
+        assert table.update_by_key(1, {"score": 2.0}) is True
+        assert table.get(1)["score"] == 2.0
+        assert table.get(1)["name"] == "a"
+
+    def test_update_missing_key_returns_false(self):
+        table = Table(users_schema())
+        assert table.update_by_key(99, {"name": "x"}) is False
+
+    def test_update_pk_rejected(self):
+        table = Table(users_schema())
+        table.insert({"id": 1, "name": "a"})
+        with pytest.raises(StorageError):
+            table.update_by_key(1, {"id": 2})
+
+    def test_min_max_key(self):
+        table = Table(users_schema())
+        assert table.min_key() is None
+        for i in [5, 2, 9]:
+            table.insert({"id": i, "name": str(i)})
+        assert table.min_key() == 2
+        assert table.max_key() == 9
+
+    def test_size_bytes_history_layout(self):
+        """The paper counts 16 bytes per history tuple (two 64-bit ints)."""
+        table = Table(history_schema())
+        for i in range(10):
+            table.insert({"time_snapshot": i, "event_type": i % 2})
+        # time_snapshot is BIGINT (8) + event_type INT (4) = 12 at the
+        # storage layer; HistoryStore reports the paper's 16B accounting.
+        assert table.size_bytes() == 10 * 12
+
+
+class TestSecondaryIndex:
+    def _table(self):
+        table = Table(users_schema())
+        table.create_index("score")
+        for i in range(10):
+            table.insert({"id": i, "name": str(i), "score": float(i % 5)})
+        return table
+
+    def test_create_index_on_pk_rejected(self):
+        table = Table(users_schema())
+        with pytest.raises(StorageError):
+            table.create_index("id")
+
+    def test_create_duplicate_index_rejected(self):
+        table = Table(users_schema())
+        table.create_index("score")
+        with pytest.raises(StorageError):
+            table.create_index("score")
+
+    def test_index_on_unknown_column_rejected(self):
+        table = Table(users_schema())
+        with pytest.raises(SchemaError):
+            table.create_index("bogus")
+
+    def test_secondary_range_lookup(self):
+        table = self._table()
+        rows = list(table.secondary_range("score", 2.0, 3.0))
+        assert sorted(r["id"] for r in rows) == [2, 3, 7, 8]
+
+    def test_secondary_range_unbounded(self):
+        table = self._table()
+        assert len(list(table.secondary_range("score"))) == 10
+
+    def test_index_created_after_rows_exist(self):
+        table = Table(users_schema())
+        for i in range(5):
+            table.insert({"id": i, "name": str(i), "score": float(i)})
+        table.create_index("score")
+        assert [r["id"] for r in table.secondary_range("score", 3.0, 4.0)] == [3, 4]
+
+    def test_index_maintained_on_delete(self):
+        table = self._table()
+        table.delete_by_key(2)
+        rows = list(table.secondary_range("score", 2.0, 2.0))
+        assert [r["id"] for r in rows] == [7]
+
+    def test_index_maintained_on_update(self):
+        table = self._table()
+        table.update_by_key(2, {"score": 4.5})
+        assert [r["id"] for r in table.secondary_range("score", 2.0, 2.0)] == [7]
+        assert 2 in [r["id"] for r in table.secondary_range("score", 4.5, 4.5)]
+
+    def test_index_maintained_on_range_delete(self):
+        table = self._table()
+        table.delete_key_range(0, 4)
+        rows = list(table.secondary_range("score", 0.0, 4.0))
+        assert sorted(r["id"] for r in rows) == [5, 6, 7, 8, 9]
+
+    def test_unindexed_secondary_range_raises(self):
+        table = Table(users_schema())
+        with pytest.raises(StorageError):
+            list(table.secondary_range("name", "a", "b"))

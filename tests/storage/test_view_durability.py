@@ -1,0 +1,136 @@
+"""Tests for the customer view (read-only, human-readable) and history
+durability (snapshots, restores, node moves)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.durability import (
+    move_history,
+    read_snapshot,
+    restore_history,
+    snapshot_history,
+    write_snapshot,
+)
+from repro.storage.history import HistoryStore
+from repro.storage.view import CustomerHistoryView
+from repro.types import EventType
+
+
+def sample_store():
+    store = HistoryStore()
+    store.insert_history(0, EventType.ACTIVITY_START)          # 1970-01-01 00:00
+    store.insert_history(3600, EventType.ACTIVITY_END)         # 01:00
+    store.insert_history(90000, EventType.ACTIVITY_START)      # day 2, 01:00
+    return store
+
+
+class TestCustomerView:
+    def test_rows_human_readable(self):
+        view = CustomerHistoryView(sample_store())
+        rows = view.rows()
+        assert rows[0].time_utc == "1970-01-01 00:00:00"
+        assert rows[0].event == "activity start"
+        assert rows[1].event == "activity end"
+        assert len(view) == 3
+
+    def test_rows_time_filtered(self):
+        view = CustomerHistoryView(sample_store())
+        rows = view.rows(start=3600, end=90000)
+        assert [r.event for r in rows] == ["activity end", "activity start"]
+
+    def test_view_reflects_trims(self):
+        store = sample_store()
+        view = CustomerHistoryView(store)
+        store.delete_old_history(history_days=1, now=90000 + 86400)
+        # Oldest tuple survives as witness; the 3600 tuple is trimmed.
+        assert len(view) == 2
+
+    def test_view_is_read_only(self):
+        view = CustomerHistoryView(sample_store())
+        with pytest.raises(StorageError):
+            view.insert(1, EventType.ACTIVITY_START)
+        with pytest.raises(StorageError):
+            view.delete(1)
+        with pytest.raises(StorageError):
+            view.update(1)
+
+    def test_iteration(self):
+        events = [r.event for r in CustomerHistoryView(sample_store())]
+        assert events == ["activity start", "activity end", "activity start"]
+
+
+class TestDurability:
+    def test_snapshot_restore_round_trip(self):
+        store = sample_store()
+        snapshot = snapshot_history(store, "db-1")
+        restored = restore_history(snapshot)
+        assert restored.all_events() == store.all_events()
+        assert restored.tuple_count == 3
+
+    def test_snapshot_counts(self):
+        snapshot = snapshot_history(sample_store(), "db-1")
+        assert snapshot.tuple_count == 3
+        assert snapshot.database_id == "db-1"
+
+    def test_corrupt_snapshot_rejected(self):
+        snapshot = snapshot_history(sample_store(), "db-1")
+        corrupt = type(snapshot)(
+            database_id=snapshot.database_id,
+            events=snapshot.events[:-1],  # drop a tuple, keep the checksum
+            checksum=snapshot.checksum,
+        )
+        with pytest.raises(StorageError):
+            restore_history(corrupt)
+
+    def test_file_round_trip(self, tmp_path):
+        snapshot = snapshot_history(sample_store(), "db-1")
+        path = tmp_path / "backup.json"
+        write_snapshot(snapshot, path)
+        loaded = read_snapshot(path)
+        assert loaded == snapshot
+        assert restore_history(loaded).tuple_count == 3
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "backup.json"
+        path.write_text('{"version": 99, "events": []}')
+        with pytest.raises(StorageError):
+            read_snapshot(path)
+
+    def test_move_preserves_prediction_inputs(self):
+        """The durability design principle (Section 3.3): after a load-
+        balancing move, predictions continue uninterrupted because the
+        history moved with the database."""
+        from repro.config import ProRPConfig
+        from repro.core.predictor import predict_next_activity
+        from repro.types import SECONDS_PER_DAY as DAY, SECONDS_PER_HOUR as HOUR
+
+        store = HistoryStore()
+        for day in range(28):
+            store.insert_history(day * DAY + 9 * HOUR, EventType.ACTIVITY_START)
+        _, moved = move_history(store, "db-1")
+        now = 27 * DAY + 18 * HOUR
+        config = ProRPConfig()
+        assert predict_next_activity(moved, config, now) == predict_next_activity(
+            store, config, now
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**7),
+                st.sampled_from([EventType.ACTIVITY_START, EventType.ACTIVITY_END]),
+            ),
+            unique_by=lambda pair: pair[0],
+            max_size=60,
+        )
+    )
+    def test_round_trip_any_history(self, events):
+        store = HistoryStore()
+        for t, event_type in events:
+            store.insert_history(t, event_type)
+        _, restored = move_history(store, "fuzz")
+        assert restored.all_events() == store.all_events()
+        assert list(restored.login_timestamps()) == list(store.login_timestamps())

@@ -1,0 +1,120 @@
+"""Tests for CDFs, percentiles, box-plot summaries, and table rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BoxPlotSummary,
+    EmpiricalCdf,
+    box_plot_summary,
+    format_table,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 33) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_bounded_by_min_max(self, values):
+        for q in (0, 25, 50, 75, 100):
+            p = percentile(values, q)
+            assert min(values) <= p <= max(values)
+
+
+class TestEmpiricalCdf:
+    def test_fraction_at_or_below(self):
+        cdf = EmpiricalCdf([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(2) == 0.5
+        assert cdf.fraction_at_or_below(4) == 1.0
+
+    def test_empty_cdf(self):
+        cdf = EmpiricalCdf([])
+        assert len(cdf) == 0
+        assert cdf.fraction_at_or_below(10) == 0.0
+        with pytest.raises(ValueError):
+            cdf.mean()
+
+    def test_quantile_and_stats(self):
+        cdf = EmpiricalCdf([10, 20, 30, 40])
+        assert cdf.quantile(0.5) == 25
+        assert cdf.mean() == 25
+        assert cdf.max() == 40
+
+    def test_points(self):
+        cdf = EmpiricalCdf([1, 2, 3])
+        points = cdf.points([1, 3])
+        assert points == [(1, pytest.approx(1 / 3)), (3, 1.0)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=60))
+    def test_monotone_and_normalised(self, values):
+        cdf = EmpiricalCdf(values)
+        previous = 0.0
+        for x in range(0, 101, 10):
+            current = cdf.fraction_at_or_below(x)
+            assert current >= previous
+            previous = current
+        assert cdf.fraction_at_or_below(100) == 1.0
+
+
+class TestBoxPlot:
+    def test_five_numbers(self):
+        summary = box_plot_summary([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.q1 == 2
+        assert summary.median == 3
+        assert summary.q3 == 4
+        assert summary.maximum == 5
+        assert summary.mean == 3
+        assert summary.count == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_plot_summary([])
+
+    def test_row_is_printable(self):
+        row = box_plot_summary([1, 2, 3]).row("label")
+        assert row[0] == "label"
+        assert len(row) == 8
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-+-" in lines[2]
+        assert "2.50" in lines[3]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [1000]])
+        rows = text.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policy == "proactive"
+        assert args.region == "EU1"
+        assert args.databases == 200
+
+    def test_figures_selection(self):
+        args = build_parser().parse_args(["figures", "--which", "fig3", "fig9"])
+        assert args.which == ["fig3", "fig9"]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--which", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_simulate_prints_kpis(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--databases",
+                "40",
+                "--eval-days",
+                "1",
+                "--policy",
+                "reactive",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "QoS % (logins served)" in out
+        assert "reactive" in out
+
+    def test_simulate_with_knobs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--databases",
+                "40",
+                "--eval-days",
+                "1",
+                "--confidence",
+                "0.5",
+                "--window-hours",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "proactive" in capsys.readouterr().out
+
+    def test_figures_fig3(self, capsys):
+        code = main(["figures", "--which", "fig3", "--databases", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+
+    def test_figures_fig9(self, capsys):
+        code = main(
+            ["figures", "--which", "fig9", "--databases", "40", "--eval-days", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 9" in out
+
+    def test_tune(self, capsys):
+        code = main(["tune", "--databases", "40", "--eval-days", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selected: window" in out
+
+
+def test_digest_command(capsys):
+    code = main(["digest", "--databases", "40", "--eval-days", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Proactive breakdown" in out
+    assert "provisioned" in out

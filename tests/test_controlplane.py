@@ -1,0 +1,144 @@
+"""Tests for the workflow engine and the diagnostics/mitigation runner."""
+
+import pytest
+
+from repro.controlplane import (
+    DiagnosticsRunner,
+    WorkflowEngine,
+    WorkflowKind,
+    WorkflowState,
+)
+from repro.errors import WorkflowError
+
+
+class TestWorkflowEngine:
+    def test_submit_and_complete(self):
+        engine = WorkflowEngine(default_duration_s=10)
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db-1", now=0)
+        assert workflow.state is WorkflowState.PENDING
+        engine.tick(0)
+        assert workflow.state is WorkflowState.RUNNING
+        completed = engine.tick(10)
+        assert completed == [workflow]
+        assert workflow.state is WorkflowState.SUCCEEDED
+        assert workflow.finished_at == 10
+        assert engine.drained()
+
+    def test_concurrency_limit(self):
+        engine = WorkflowEngine(max_concurrent=2, default_duration_s=10)
+        for i in range(5):
+            engine.submit(WorkflowKind.PHYSICAL_PAUSE, f"db-{i}", now=0)
+        engine.tick(0)
+        assert engine.running_count == 2
+        assert engine.pending_count == 3
+        engine.tick(10)  # two finish, two more start
+        assert engine.running_count == 2
+        assert engine.pending_count == 1
+
+    def test_queue_depth_by_kind(self):
+        engine = WorkflowEngine(max_concurrent=1)
+        engine.submit(WorkflowKind.PROACTIVE_RESUME, "a", now=0)
+        engine.submit(WorkflowKind.PROACTIVE_RESUME, "b", now=0)
+        engine.submit(WorkflowKind.PHYSICAL_PAUSE, "c", now=0)
+        assert engine.queue_depth(WorkflowKind.PROACTIVE_RESUME) == 2
+        assert engine.queue_depth(WorkflowKind.PHYSICAL_PAUSE) == 1
+
+    def test_fault_injection_produces_stuck(self):
+        engine = WorkflowEngine(stuck_probability=0.99, seed=1, default_duration_s=5)
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db", now=0)
+        engine.tick(0)
+        assert workflow.state is WorkflowState.STUCK
+        # A stuck workflow never completes on its own.
+        assert engine.tick(1000) == []
+        assert engine.stuck_workflows(now=1000, stuck_after_s=300) == [workflow]
+
+    def test_retry_requeues_at_head(self):
+        engine = WorkflowEngine(stuck_probability=0.99, seed=1, default_duration_s=5)
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db", now=0)
+        engine.tick(0)
+        engine.retry(workflow, now=400)
+        assert workflow.retries == 1
+        assert engine.pending_count == 1
+
+    def test_retry_of_healthy_workflow_rejected(self):
+        engine = WorkflowEngine(default_duration_s=5)
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db", now=0)
+        engine.tick(0)
+        with pytest.raises(WorkflowError):
+            engine.retry(workflow, now=1)
+
+    def test_fail_terminates(self):
+        engine = WorkflowEngine(stuck_probability=0.99, seed=1)
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db", now=0)
+        engine.tick(0)
+        engine.fail(workflow, now=500)
+        assert workflow.state is WorkflowState.FAILED
+        assert workflow.terminal
+        assert engine.drained()
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            WorkflowEngine(max_concurrent=0)
+        with pytest.raises(WorkflowError):
+            WorkflowEngine(stuck_probability=1.0)
+
+
+class TestDiagnosticsRunner:
+    def test_queues_drain_without_faults(self):
+        """Section 7: the runner makes sure the queues drain."""
+        engine = WorkflowEngine(max_concurrent=10, default_duration_s=30)
+        runner = DiagnosticsRunner(engine)
+        for i in range(50):
+            engine.submit(WorkflowKind.PROACTIVE_RESUME, f"db-{i}", now=0)
+        now = 0
+        while not runner.queues_drained():
+            engine.tick(now)
+            runner.run_once(now)
+            now += 30
+            assert now < 10_000, "queues must drain"
+        assert runner.incidents == []
+        assert runner.samples, "runner must record queue samples"
+
+    def test_stuck_workflows_get_mitigated(self):
+        engine = WorkflowEngine(
+            max_concurrent=10, default_duration_s=30, stuck_probability=0.5, seed=3
+        )
+        runner = DiagnosticsRunner(engine, stuck_after_s=60, max_retries=5)
+        for i in range(40):
+            engine.submit(WorkflowKind.REACTIVE_RESUME, f"db-{i}", now=0)
+        now = 0
+        while not engine.drained() and now < 100_000:
+            engine.tick(now)
+            runner.run_once(now)
+            now += 30
+        assert engine.drained()
+        assert runner.mitigations > 0
+        # With retries available, everything eventually succeeds.
+        assert all(
+            w.state is WorkflowState.SUCCEEDED for w in engine.workflows.values()
+        )
+
+    def test_exhausted_retries_trigger_incident(self):
+        engine = WorkflowEngine(
+            max_concurrent=10, default_duration_s=30, stuck_probability=0.95, seed=7
+        )
+        runner = DiagnosticsRunner(engine, stuck_after_s=30, max_retries=1)
+        engine.submit(WorkflowKind.PHYSICAL_PAUSE, "db-x", now=0)
+        now = 0
+        while not engine.drained() and now < 100_000:
+            engine.tick(now)
+            runner.run_once(now)
+            now += 30
+        terminal_states = {w.state for w in engine.workflows.values()}
+        if WorkflowState.FAILED in terminal_states:
+            assert runner.incidents
+            assert runner.incidents[0].database_id == "db-x"
+
+    def test_queue_depth_alert(self):
+        engine = WorkflowEngine(max_concurrent=1, default_duration_s=1000)
+        runner = DiagnosticsRunner(engine, queue_alert_depth=5)
+        for i in range(10):
+            engine.submit(WorkflowKind.PROACTIVE_RESUME, f"db-{i}", now=0)
+        engine.tick(0)
+        runner.run_once(0)
+        assert any("queue depth" in i.reason for i in runner.incidents)

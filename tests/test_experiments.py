@@ -1,0 +1,210 @@
+"""Tests for the per-figure experiment drivers (small scales).
+
+These assert the *shape* criteria recorded in DESIGN.md/EXPERIMENTS.md,
+not the paper's absolute telemetry values.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, region_fleet
+from repro.experiments.ablation import (
+    run_history_length_ablation,
+    run_logical_pause_ablation,
+    run_prewarm_ablation,
+    run_seasonality_ablation,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.workload.regions import RegionPreset
+
+#: Small but statistically meaningful scale for driver tests.
+SCALE = ExperimentScale(n_databases=120, eval_days=1, seed=2)
+TINY = ExperimentScale(n_databases=60, eval_days=1, seed=2)
+
+
+class TestScale:
+    def test_eval_window_on_weekdays(self):
+        # Default window must avoid the synthetic weekend (days 5-6 mod 7).
+        start_day = ExperimentScale().eval_start // 86400
+        end_day = ExperimentScale().eval_end // 86400
+        for day in range(start_day, end_day):
+            assert day % 7 < 5
+
+    def test_bad_scales_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(span_days=3, eval_days=2)
+        with pytest.raises(ValueError):
+            ExperimentScale(eval_end_day=99)
+
+    def test_fleet_cached(self):
+        a = region_fleet(RegionPreset.EU1, SCALE)
+        b = region_fleet(RegionPreset.EU1, SCALE)
+        assert [t.database_id for t in a] == [t.database_id for t in b]
+
+
+class TestFig3:
+    def test_headline_shape(self):
+        result = run_fig3(SCALE)
+        assert result.short_interval_count_percent > 50
+        assert result.short_interval_duration_percent < 10
+        assert (
+            result.short_interval_count_percent
+            > 10 * result.short_interval_duration_percent
+        )
+
+    def test_rows_monotone(self):
+        rows = run_fig3(SCALE).rows()
+        for a, b in zip(rows, rows[1:]):
+            assert b["count_cdf_percent"] >= a["count_cdf_percent"]
+            assert b["duration_cdf_percent"] >= a["duration_cdf_percent"]
+
+    def test_table_renders(self):
+        assert "Figure 3" in run_fig3(SCALE).table()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(SCALE, regions=[RegionPreset.EU1, RegionPreset.US2])
+
+    def test_proactive_wins_qos_in_every_region(self, result):
+        for row in result.rows():
+            assert (
+                row["proactive_qos_percent"] > row["reactive_qos_percent"] + 5
+            ), row
+
+    def test_proactive_reduces_logical_idle(self, result):
+        for row in result.rows():
+            assert row["proactive_idle_logical"] < row["reactive_idle_percent"]
+
+    def test_idle_breakdown_sums(self, result):
+        for row in result.rows():
+            total = (
+                row["proactive_idle_logical"]
+                + row["proactive_idle_correct"]
+                + row["proactive_idle_wrong"]
+            )
+            assert total == pytest.approx(row["proactive_idle_percent"], abs=1e-6)
+
+    def test_table_renders(self, result):
+        assert "Figure 6" in result.table()
+
+
+class TestFig7:
+    def test_stable_across_days(self):
+        result = run_fig7(TINY, n_days=2)
+        rows = result.rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["proactive_qos_percent"] > row["reactive_qos_percent"]
+
+
+class TestFig8:
+    def test_window_sweep_direction(self):
+        """Figure 8: QoS and idle both grow with the window size."""
+        result = run_fig8(TINY, window_hours=(1, 7))
+        rows = result.rows()
+        assert rows[0]["window_s"] < rows[1]["window_s"]
+        assert rows[1]["qos_percent"] >= rows[0]["qos_percent"]
+        assert rows[1]["idle_percent"] >= rows[0]["idle_percent"]
+
+
+class TestFig9:
+    def test_confidence_sweep_direction(self):
+        """Figure 9: QoS and idle both shrink as confidence rises."""
+        result = run_fig9(TINY, confidences=(0.1, 0.8))
+        rows = result.rows()
+        assert rows[0]["confidence"] < rows[1]["confidence"]
+        assert rows[0]["qos_percent"] >= rows[1]["qos_percent"]
+        assert rows[0]["idle_percent"] >= rows[1]["idle_percent"]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(TINY)
+
+    def test_history_small_and_latency_subsecond(self, result):
+        """The paper's overhead headline: KB-scale histories, sub-second
+        prediction latency."""
+        assert result.history_kb.mean() < 74
+        assert result.prediction_latency_ms.max() < 1000
+
+    def test_size_is_sixteen_bytes_per_tuple(self, result):
+        assert result.history_kb.mean() * 1024 == pytest.approx(
+            result.tuple_counts.mean() * 16
+        )
+
+    def test_rows_are_quantile_monotone(self, result):
+        rows = result.rows()
+        for a, b in zip(rows, rows[1:]):
+            assert b["tuples"] >= a["tuples"]
+            assert b["latency_ms"] >= a["latency_ms"]
+
+
+class TestFig11:
+    def test_batch_size_grows_with_period(self):
+        result = run_fig11(SCALE, period_minutes=(1, 15))
+        rows = result.rows()
+        assert rows[1]["proactive_max"] >= rows[0]["proactive_max"]
+
+    def test_table_renders(self):
+        assert "Figure 11" in run_fig11(TINY, period_minutes=(5,)).table()
+
+
+class TestFig12:
+    def test_pause_volume_grows_with_interval(self):
+        result = run_fig12(SCALE, period_minutes=(1, 15))
+        rows = result.rows()
+        assert rows[1]["proactive_max"] >= rows[0]["proactive_max"]
+
+    def test_more_pauses_than_prewarms(self):
+        """Figure 12 sits slightly above Figure 11: new databases pause
+        without ever being predicted."""
+        rows = run_fig12(SCALE, period_minutes=(5,)).rows()
+        assert rows[0]["pauses_total"] >= rows[0]["prewarm_total"]
+
+
+class TestAblations:
+    def test_history_length_relatively_flat(self):
+        """Section 9.2: the trade-off is relatively independent of h."""
+        rows = run_history_length_ablation(TINY, history_days=(14, 28)).rows()
+        qos = [r["qos_percent"] for r in rows]
+        assert abs(qos[0] - qos[1]) < 15
+
+    def test_seasonality_comparable(self):
+        rows = run_seasonality_ablation(TINY).rows()
+        daily, weekly = rows[0], rows[1]
+        assert abs(daily["qos_percent"] - weekly["qos_percent"]) < 25
+
+    def test_prewarm_sweep_runs(self):
+        rows = run_prewarm_ablation(TINY, prewarm_minutes=(1, 30)).rows()
+        assert len(rows) == 2
+
+    def test_short_logical_pause_hurts_qos(self):
+        """Reclaiming (almost) immediately floods reclamation workflows and
+        drops QoS -- the Section 1 motivation for logical pauses."""
+        rows = run_logical_pause_ablation(TINY, pause_hours=(0.05, 7)).rows()
+        near_zero, production = rows[0], rows[1]
+        assert near_zero["qos_percent"] < production["qos_percent"]
+        assert near_zero["physical_pauses"] > production["physical_pauses"]
+
+
+class TestAccuracyDriver:
+    def test_accuracy_table_and_rows(self):
+        from repro.experiments.accuracy import run_accuracy
+
+        result = run_accuracy(TINY)
+        rows = result.rows()
+        assert rows[-1]["archetype"] == "fleet"
+        assert all(0.0 <= r["precision"] <= 1.0 for r in rows)
+        assert "Prediction accuracy" in result.table()
+        assert result.fleet.total == sum(
+            row.report.total for row in result.by_archetype
+        )

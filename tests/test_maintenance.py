@@ -1,0 +1,127 @@
+"""Tests for prediction-aligned maintenance scheduling (Section 11(4))."""
+
+import pytest
+
+from repro.config import ProRPConfig
+from repro.errors import SimulationError
+from repro.maintenance import (
+    MaintenanceKind,
+    MaintenanceOperation,
+    NaiveScheduler,
+    PredictiveScheduler,
+    evaluate_schedule,
+)
+from repro.maintenance.operations import DEFAULT_DURATIONS, ScheduledOperation
+from repro.maintenance.scheduler import build_histories
+from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+
+
+def daily_trace(days=30, database_id="db"):
+    return ActivityTrace(
+        database_id,
+        [Session(d * DAY + 9 * HOUR, d * DAY + 17 * HOUR) for d in range(days)],
+        created_at=0,
+    )
+
+
+def backup_op(database_id="db", window_start=28 * DAY, deadline=29 * DAY):
+    return MaintenanceOperation.with_default_duration(
+        database_id, MaintenanceKind.BACKUP, window_start, deadline
+    )
+
+
+class TestOperationModel:
+    def test_default_durations(self):
+        op = backup_op()
+        assert op.duration_s == DEFAULT_DURATIONS[MaintenanceKind.BACKUP]
+
+    def test_window_must_fit_duration(self):
+        with pytest.raises(SimulationError):
+            MaintenanceOperation("db", MaintenanceKind.BACKUP, 0, 60, 900)
+
+    def test_invalid_duration(self):
+        with pytest.raises(SimulationError):
+            MaintenanceOperation("db", MaintenanceKind.BACKUP, 0, 100, 0)
+
+    def test_scheduled_end(self):
+        placement = ScheduledOperation(backup_op(), start=28 * DAY)
+        assert placement.end == 28 * DAY + 15 * 60
+
+
+class TestNaiveScheduler:
+    def test_runs_at_window_start(self):
+        placement = NaiveScheduler().schedule(backup_op())
+        assert placement.start == 28 * DAY
+
+    def test_naive_placement_misses_online_window(self):
+        """A midnight window start hits a paused daily database."""
+        trace = daily_trace()
+        placement = NaiveScheduler().schedule(backup_op())
+        assert trace.demand_at(placement.start) == 0
+
+
+class TestPredictiveScheduler:
+    def _scheduler(self, trace):
+        config = ProRPConfig()
+        histories = build_histories([trace], as_of=28 * DAY, history_days=28)
+        return PredictiveScheduler(histories, config)
+
+    def test_places_inside_predicted_activity(self):
+        trace = daily_trace()
+        placement = self._scheduler(trace).schedule(backup_op())
+        # Predicted online window is around 09:00: the op lands in it.
+        assert trace.demand_at(placement.start) == 1
+
+    def test_falls_back_without_history(self):
+        scheduler = PredictiveScheduler({}, ProRPConfig())
+        placement = scheduler.schedule(backup_op())
+        assert placement.start == 28 * DAY
+
+    def test_falls_back_without_prediction(self):
+        """An empty history predicts nothing: naive placement."""
+        empty = ActivityTrace("db", [], created_at=0)
+        scheduler = self._scheduler(empty)
+        placement = scheduler.schedule(backup_op())
+        assert placement.start == 28 * DAY
+
+    def test_deadline_respected(self):
+        """If the predicted window starts too late to fit the work before
+        the deadline, the scheduler falls back to the naive start."""
+        trace = daily_trace()
+        op = MaintenanceOperation.with_default_duration(
+            "db", MaintenanceKind.BACKUP, 28 * DAY, 28 * DAY + 2 * HOUR
+        )
+        placement = self._scheduler(trace).schedule(op)
+        assert placement.end <= op.deadline
+
+
+class TestEvaluation:
+    def test_predictive_beats_naive_on_daily_fleet(self):
+        """The Section 11(4) claim: scheduling inside predicted-online
+        windows avoids resuming databases just for maintenance."""
+        traces = {
+            f"db-{i}": daily_trace(database_id=f"db-{i}") for i in range(10)
+        }
+        operations = [
+            backup_op(database_id=db_id) for db_id in traces
+        ]
+        naive = [NaiveScheduler().schedule(op) for op in operations]
+        histories = build_histories(
+            list(traces.values()), as_of=28 * DAY, history_days=28
+        )
+        predictive_scheduler = PredictiveScheduler(histories, ProRPConfig())
+        predictive = [predictive_scheduler.schedule(op) for op in operations]
+
+        naive_eval = evaluate_schedule(naive, traces, "naive")
+        predictive_eval = evaluate_schedule(predictive, traces, "predictive")
+        assert naive_eval.online_percent == 0.0
+        assert predictive_eval.online_percent == 100.0
+        assert predictive_eval.extra_resumes < naive_eval.extra_resumes
+
+    def test_empty_schedule(self):
+        evaluation = evaluate_schedule([], {}, "naive")
+        assert evaluation.total == 0
+        assert evaluation.online_percent == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the monitoring rollups and terminal dashboard."""
+
+import pytest
+
+from repro.errors import ProRPError
+from repro.simulation import SimulationSettings, simulate_region
+from repro.telemetry import TelemetryStore, emit_simulation_telemetry
+from repro.telemetry.events import Component, TelemetryEvent
+from repro.telemetry.monitoring import (
+    RollupBucket,
+    kpi_rollup,
+    render_dashboard,
+    sparkline,
+)
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.workload import RegionPreset, generate_region_traces
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+
+
+def login(t):
+    return TelemetryEvent(t, "db", Component.ACTIVITY_TRACKING, {"event_type": 1})
+
+
+def workflow(t, kind):
+    return TelemetryEvent(t, "db", Component.LIFECYCLE, {"workflow": kind})
+
+
+class TestRollup:
+    def test_buckets_and_counts(self):
+        store = TelemetryStore()
+        store.extend([login(10), login(110), workflow(20, "reactive_resume")])
+        rollups = kpi_rollup(store, 0, 200, bucket_s=100)
+        assert len(rollups) == 2
+        assert rollups[0].logins == 1
+        assert rollups[0].reactive_resumes == 1
+        assert rollups[1].logins == 1
+        assert rollups[1].reactive_resumes == 0
+
+    def test_qos_per_bucket(self):
+        bucket = RollupBucket(start=0, logins=4, reactive_resumes=1)
+        assert bucket.qos_percent == 75.0
+        assert RollupBucket(start=0).qos_percent == 100.0
+
+    def test_invalid_args(self):
+        store = TelemetryStore()
+        with pytest.raises(ProRPError):
+            kpi_rollup(store, 0, 100, bucket_s=0)
+        with pytest.raises(ProRPError):
+            kpi_rollup(store, 100, 100, bucket_s=10)
+
+    def test_rollup_totals_match_store(self):
+        traces = generate_region_traces(RegionPreset.EU1, 40, span_days=32, seed=3)
+        settings = SimulationSettings(eval_start=30 * DAY, eval_end=31 * DAY)
+        result = simulate_region(traces, "proactive", settings=settings)
+        store = TelemetryStore()
+        emit_simulation_telemetry(result, traces, store)
+        rollups = kpi_rollup(store, 30 * DAY, 31 * DAY, bucket_s=HOUR)
+        kpis = result.kpis()
+        assert sum(b.logins for b in rollups) == kpis.logins.total
+        assert (
+            sum(b.proactive_resumes for b in rollups)
+            == kpis.workflows.proactive_resumes
+        )
+        assert (
+            sum(b.physical_pauses for b in rollups)
+            == kpis.workflows.physical_pauses
+        )
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestDashboard:
+    def test_renders_all_metrics(self):
+        rollups = [
+            RollupBucket(start=0, logins=3, reactive_resumes=1),
+            RollupBucket(start=100, logins=5, proactive_resumes=2),
+        ]
+        text = render_dashboard(rollups, title="EU1")
+        assert "EU1" in text
+        assert "logins" in text and "QoS %" in text
+        assert "sum" in text and "min" in text
+
+    def test_empty_dashboard(self):
+        assert "no data" in render_dashboard([])

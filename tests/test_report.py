@@ -1,0 +1,39 @@
+"""Tests for the one-call region digest."""
+
+import pytest
+
+from repro.report import region_digest
+from repro.simulation import SimulationSettings
+from repro.types import SECONDS_PER_DAY
+from repro.workload import RegionPreset, generate_region_traces
+
+DAY = SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def digest():
+    traces = generate_region_traces(RegionPreset.EU1, 60, span_days=32, seed=7)
+    settings = SimulationSettings(eval_start=30 * DAY, eval_end=31 * DAY)
+    return region_digest(traces, settings, title="EU1 digest")
+
+
+def test_contains_all_sections(digest):
+    assert "EU1 digest" in digest
+    assert "Proactive breakdown" in digest
+    assert "by usage archetype" in digest
+    assert "per bucket" in digest
+
+
+def test_all_policies_listed(digest):
+    for policy in ("provisioned", "reactive", "proactive", "optimal"):
+        assert policy in digest
+
+
+def test_dashboard_metrics_present(digest):
+    assert "QoS %" in digest
+    assert "logins" in digest
+
+
+def test_digest_is_plain_text(digest):
+    assert isinstance(digest, str)
+    assert len(digest.splitlines()) > 20

@@ -1,0 +1,116 @@
+"""Tests for the training pipeline: grids, objectives, sweeps, selection."""
+
+import pytest
+
+from repro.config import ProRPConfig, Seasonality
+from repro.core.kpi import IdleBreakdown, KpiReport, LoginStats, WorkflowCounts
+from repro.errors import ConfigError
+from repro.simulation import SimulationSettings
+from repro.training import (
+    ParameterGrid,
+    TrainingPipeline,
+    qos_priority_objective,
+    weighted_objective,
+)
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.workload import RegionPreset, generate_region_traces
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+
+
+def report(qos=80.0, idle=5.0):
+    total_logins = 1000
+    with_resources = int(total_logins * qos / 100)
+    fleet_seconds = 1_000_000
+    idle_s = int(fleet_seconds * idle / 100)
+    return KpiReport(
+        policy="proactive",
+        n_databases=10,
+        eval_start=0,
+        eval_end=100_000,
+        logins=LoginStats(with_resources, total_logins - with_resources),
+        idle=IdleBreakdown(logical_pause_s=idle_s),
+        workflows=WorkflowCounts(),
+        used_s=0,
+        saved_s=fleet_seconds - idle_s,
+    )
+
+
+class TestObjectives:
+    def test_qos_priority_prefers_qos_within_cap(self):
+        objective = qos_priority_objective(idle_cap_percent=15.0)
+        assert objective(report(qos=90, idle=10)) > objective(report(qos=80, idle=5))
+
+    def test_qos_priority_penalises_over_cap(self):
+        objective = qos_priority_objective(idle_cap_percent=10.0)
+        assert objective(report(qos=95, idle=30)) < objective(report(qos=80, idle=5))
+
+    def test_weighted_objective(self):
+        objective = weighted_objective(qos_weight=1.0, idle_weight=2.0)
+        assert objective(report(qos=80, idle=10)) == pytest.approx(60.0)
+
+
+class TestParameterGrid:
+    def test_cross_product(self):
+        grid = ParameterGrid({"confidence": [0.1, 0.5], "window_s": [HOUR, 2 * HOUR]})
+        configs = grid.candidates(ProRPConfig())
+        assert len(configs) == 4
+        assert {c.confidence for c in configs} == {0.1, 0.5}
+
+    def test_empty_grid_returns_base(self):
+        base = ProRPConfig()
+        assert ParameterGrid({}).candidates(base) == [base]
+
+    def test_invalid_combinations_pruned(self):
+        grid = ParameterGrid(
+            {
+                "history_days": [10, 28],
+                "seasonality": [Seasonality.WEEKLY],
+            }
+        )
+        configs = grid.candidates(ProRPConfig())
+        # history_days=10 is not a whole number of weeks: pruned.
+        assert len(configs) == 1
+        assert configs[0].history_days == 28
+
+    def test_all_invalid_raises(self):
+        grid = ParameterGrid({"confidence": [0.0, -1.0]})
+        with pytest.raises(ConfigError):
+            grid.candidates(ProRPConfig())
+
+
+class TestTrainingPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        traces = generate_region_traces(RegionPreset.EU1, 50, span_days=31, seed=4)
+        settings = SimulationSettings(eval_start=29 * DAY, eval_end=30 * DAY)
+        return TrainingPipeline(traces, settings)
+
+    def test_run_selects_best_scorer(self, pipeline):
+        grid = ParameterGrid({"confidence": [0.1, 0.8]})
+        training = pipeline.run(ProRPConfig(), grid)
+        assert len(training.candidates) == 2
+        assert training.best.score == max(c.score for c in training.candidates)
+
+    def test_low_confidence_wins_under_qos_priority(self, pipeline):
+        """Section 9.2: production prioritises QoS and picks c = 0.1."""
+        grid = ParameterGrid({"confidence": [0.1, 0.8]})
+        training = pipeline.run(ProRPConfig(), grid)
+        assert training.best.config.confidence == 0.1
+
+    def test_sweep_rows_sorted_by_knob(self, pipeline):
+        grid = ParameterGrid({"confidence": [0.5, 0.1, 0.3]})
+        training = pipeline.run(ProRPConfig(), grid)
+        rows = training.sweep_rows("confidence")
+        assert [r["confidence"] for r in rows] == [0.1, 0.3, 0.5]
+        assert all("qos_percent" in r and "idle_percent" in r for r in rows)
+
+    def test_confidence_sweep_has_figure9_direction(self, pipeline):
+        """Higher confidence -> fewer proactive resumes -> lower QoS and
+        lower idle (the Figure 9 trends)."""
+        grid = ParameterGrid({"confidence": [0.1, 0.8]})
+        rows = pipeline.run(ProRPConfig(), grid).sweep_rows("confidence")
+        low, high = rows[0], rows[1]
+        assert low["qos_percent"] >= high["qos_percent"]
+        assert low["idle_percent"] >= high["idle_percent"]

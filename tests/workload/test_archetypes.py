@@ -1,0 +1,160 @@
+"""Tests for workload archetypes and trace invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import ActivityTrace, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.workload.archetypes import (
+    BurstyDev,
+    DailyBusinessHours,
+    Dormant,
+    NightlyJob,
+    Sporadic,
+    Stable,
+    WeeklyBatch,
+    maintenance_sessions,
+)
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+
+ALL_ARCHETYPES = [
+    DailyBusinessHours(),
+    NightlyJob(),
+    WeeklyBatch(),
+    Stable(),
+    BurstyDev(),
+    Sporadic(),
+    Dormant(),
+]
+
+
+@pytest.mark.parametrize("archetype", ALL_ARCHETYPES, ids=lambda a: a.name)
+def test_sessions_sorted_non_overlapping_within_bounds(archetype):
+    rng = random.Random(42)
+    start, end = 3 * DAY, 24 * DAY
+    sessions = archetype.generate(start, end, rng)
+    previous_end = start
+    for session in sessions:
+        assert session.start >= previous_end
+        assert session.end <= end
+        assert session.duration > 0
+        previous_end = session.end
+    # A valid ActivityTrace can always be built from the output.
+    ActivityTrace("t", sessions)
+
+
+@pytest.mark.parametrize("archetype", ALL_ARCHETYPES, ids=lambda a: a.name)
+def test_generation_deterministic_per_seed(archetype):
+    a = archetype.generate(0, 14 * DAY, random.Random(7))
+    b = archetype.generate(0, 14 * DAY, random.Random(7))
+    assert a == b
+
+
+class TestDailyBusinessHours:
+    def test_weekdays_only_skips_weekends(self):
+        archetype = DailyBusinessHours(
+            weekdays_only=True, skip_day_probability=0.0
+        )
+        sessions = archetype.generate(0, 28 * DAY, random.Random(1))
+        for session in sessions:
+            assert session.start % (7 * DAY) // DAY < 5
+
+    def test_all_days_when_not_weekdays_only(self):
+        archetype = DailyBusinessHours(
+            weekdays_only=False, skip_day_probability=0.0
+        )
+        sessions = archetype.generate(0, 28 * DAY, random.Random(1))
+        active_days = {s.start // DAY for s in sessions}
+        assert len(active_days) == 28
+
+    def test_activity_within_plausible_hours(self):
+        archetype = DailyBusinessHours(
+            workday_start_h=9, workday_end_h=17, skip_day_probability=0.0
+        )
+        sessions = archetype.generate(0, 28 * DAY, random.Random(3))
+        for session in sessions:
+            hour = (session.start % DAY) / HOUR
+            assert 6.0 <= hour <= 21.0
+
+    def test_breaks_create_multiple_sessions_per_day(self):
+        archetype = DailyBusinessHours(
+            breaks_per_day=5, weekdays_only=False, skip_day_probability=0.0
+        )
+        sessions = archetype.generate(0, 14 * DAY, random.Random(5))
+        per_day = {}
+        for session in sessions:
+            per_day.setdefault(session.start // DAY, 0)
+            per_day[session.start // DAY] += 1
+        assert sum(per_day.values()) / len(per_day) > 2.0
+
+
+class TestNightlyJob:
+    def test_one_job_per_day_near_job_hour(self):
+        archetype = NightlyJob(job_hour=2.0, skip_day_probability=0.0)
+        sessions = archetype.generate(0, 28 * DAY, random.Random(2))
+        assert 25 <= len(sessions) <= 28  # merging may fuse rare overlaps
+        for session in sessions:
+            hour = (session.start % DAY) / HOUR
+            assert 1.0 <= hour <= 3.0
+
+
+class TestWeeklyBatch:
+    def test_runs_on_configured_weekday(self):
+        archetype = WeeklyBatch(weekday=2, start_hour=6.0)
+        sessions = archetype.generate(0, 28 * DAY, random.Random(2))
+        assert len(sessions) == 4
+        for session in sessions:
+            assert (session.start // DAY) % 7 == 2
+
+    def test_invalid_weekday_rejected(self):
+        with pytest.raises(ValueError):
+            WeeklyBatch(weekday=7)
+
+
+class TestActivityLevels:
+    def test_stable_mostly_active(self):
+        sessions = Stable().generate(0, 14 * DAY, random.Random(4))
+        active = sum(s.duration for s in sessions)
+        assert active / (14 * DAY) > 0.9
+
+    def test_dormant_mostly_idle(self):
+        sessions = Dormant().generate(0, 28 * DAY, random.Random(4))
+        active = sum(s.duration for s in sessions)
+        assert active / (28 * DAY) < 0.05
+
+    def test_sporadic_between(self):
+        sessions = Sporadic().generate(0, 28 * DAY, random.Random(4))
+        active = sum(s.duration for s in sessions)
+        assert 0.0 < active / (28 * DAY) < 0.2
+
+    def test_bursty_dev_prefers_its_hour(self):
+        archetype = BurstyDev(
+            days_between_episodes=1.0, preferred_hour=14.0, hour_jitter_h=1.0
+        )
+        sessions = archetype.generate(0, 28 * DAY, random.Random(6))
+        hours = [(s.start % DAY) / HOUR for s in sessions]
+        centered = sum(1 for h in hours if 10 <= h <= 18)
+        assert centered / len(hours) > 0.8
+
+
+def test_maintenance_sessions_do_not_overlap():
+    sessions = maintenance_sessions(0, 28 * DAY, random.Random(1), per_week=3)
+    for a, b in zip(sessions, sessions[1:]):
+        assert b.start >= a.end
+    assert sessions, "expected some maintenance activity"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=40))
+def test_archetype_fuzz_valid_traces(seed, span_days):
+    """Any archetype with any seed yields a valid, bounded trace."""
+    rng = random.Random(seed)
+    for archetype in ALL_ARCHETYPES:
+        sessions = archetype.generate(0, span_days * DAY, random.Random(seed))
+        trace = ActivityTrace(archetype.name, sessions)
+        if sessions:
+            assert trace.span[1] <= span_days * DAY
