@@ -31,15 +31,6 @@ Quickstart::
 """
 
 from repro.config import ProRPConfig, Seasonality
-from repro.types import (
-    EventType,
-    HistoryEvent,
-    PredictedActivity,
-    Session,
-    SECONDS_PER_DAY,
-    SECONDS_PER_HOUR,
-    SECONDS_PER_MINUTE,
-)
 from repro.errors import (
     ConfigError,
     DuplicateKeyError,
@@ -49,6 +40,15 @@ from repro.errors import (
     SqlError,
     StorageError,
     WorkflowError,
+)
+from repro.types import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    EventType,
+    HistoryEvent,
+    PredictedActivity,
+    Session,
 )
 
 __version__ = "1.0.0"

@@ -10,12 +10,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import TraceError
-from repro.types import ActivityTrace, SECONDS_PER_MINUTE
+from repro.types import SECONDS_PER_MINUTE, ActivityTrace
 
 #: Default slot width: the paper's 5-minute window slide.
 DEFAULT_SLOT_S = 5 * SECONDS_PER_MINUTE

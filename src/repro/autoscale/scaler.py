@@ -12,7 +12,6 @@ needed?" -- and raises allocation ahead of predicted demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from repro.analysis import format_table
 from repro.config import ProRPConfig
 from repro.core.billing import billing_report
 from repro.experiments.common import ExperimentScale
-from repro.simulation.region import SimulationSettings, simulate_region
+from repro.simulation.region import simulate_region
 from repro.training import ParameterGrid, TrainingPipeline
 from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.workload.regions import RegionPreset, generate_region_traces
@@ -64,9 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=["all"],
         help="which figures to regenerate",
     )
+    _workers_arg(figures)
 
     tune = sub.add_parser("tune", help="run the training pipeline")
     _common_fleet_args(tune)
+    _workers_arg(tune)
 
     digest = sub.add_parser(
         "digest", help="full operator report: all policies + drill-downs"
@@ -84,6 +86,16 @@ def _common_fleet_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--databases", type=int, default=200)
     parser.add_argument("--eval-days", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = serial; results are "
+        "identical for any worker count)",
+    )
 
 
 def _scale(args: argparse.Namespace) -> ExperimentScale:
@@ -132,13 +144,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
     which = list(FIGURES) if "all" in args.which else args.which
     scale = _scale(args)
     for name in which:
-        result = _run_figure(name, scale)
+        result = _run_figure(name, scale, workers=args.workers)
         print(result.table())
         print()
     return 0
 
 
-def _run_figure(name: str, scale: ExperimentScale):
+def _run_figure(name: str, scale: ExperimentScale, workers: int = 1):
+    # fig3 (trace statistics) and fig10 (one instrumented run) have no
+    # sweep to fan out; every other driver takes ``workers``.
     if name == "fig3":
         from repro.experiments.fig3 import run_fig3
 
@@ -146,19 +160,19 @@ def _run_figure(name: str, scale: ExperimentScale):
     if name == "fig6":
         from repro.experiments.fig6 import run_fig6
 
-        return run_fig6(scale)
+        return run_fig6(scale, workers=workers)
     if name == "fig7":
         from repro.experiments.fig7 import run_fig7
 
-        return run_fig7(scale)
+        return run_fig7(scale, workers=workers)
     if name == "fig8":
         from repro.experiments.fig8 import run_fig8
 
-        return run_fig8(scale)
+        return run_fig8(scale, workers=workers)
     if name == "fig9":
         from repro.experiments.fig9 import run_fig9
 
-        return run_fig9(scale)
+        return run_fig9(scale, workers=workers)
     if name == "fig10":
         from repro.experiments.fig10 import run_fig10
 
@@ -166,11 +180,11 @@ def _run_figure(name: str, scale: ExperimentScale):
     if name == "fig11":
         from repro.experiments.fig11 import run_fig11
 
-        return run_fig11(scale)
+        return run_fig11(scale, workers=workers)
     if name == "fig12":
         from repro.experiments.fig12 import run_fig12
 
-        return run_fig12(scale)
+        return run_fig12(scale, workers=workers)
     raise ValueError(f"unknown figure {name!r}")  # pragma: no cover
 
 
@@ -187,7 +201,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
             "confidence": [0.1, 0.3, 0.5],
         }
     )
-    report = pipeline.run(ProRPConfig(), grid)
+    report = pipeline.run(ProRPConfig(), grid, workers=args.workers)
     rows = [
         [
             candidate.config.window_s // HOUR,

@@ -9,7 +9,7 @@ resume capacity; a resume on a full node triggers a move to the least-loaded
 node with room, at a higher latency.
 """
 
-from repro.cluster.node import Node
 from repro.cluster.cluster import AllocationOutcome, Cluster
+from repro.cluster.node import Node
 
 __all__ = ["Node", "Cluster", "AllocationOutcome"]

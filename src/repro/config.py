@@ -21,7 +21,7 @@ Parameter                 Meaning                                  Default
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 from repro.errors import ConfigError

@@ -13,13 +13,13 @@ concurrency limits, and fault injection, plus the runner that retries
 stuck workflows and escalates to incidents.
 """
 
+from repro.controlplane.diagnostics import DiagnosticsRunner, Incident
 from repro.controlplane.workflows import (
     Workflow,
     WorkflowEngine,
     WorkflowKind,
     WorkflowState,
 )
-from repro.controlplane.diagnostics import DiagnosticsRunner, Incident
 
 __all__ = [
     "Workflow",

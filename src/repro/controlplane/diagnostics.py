@@ -8,14 +8,10 @@ triggered and resolved by an on-call engineer".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.controlplane.workflows import (
-    Workflow,
-    WorkflowEngine,
-    WorkflowKind,
-)
+from repro.controlplane.workflows import WorkflowEngine, WorkflowKind
 
 
 @dataclass(frozen=True)

@@ -14,11 +14,11 @@
 * :mod:`repro.core.kpi` -- the KPI metrics of Section 8.
 """
 
-from repro.core.predictor import predict_next_activity, HistoryView
 from repro.core.fast_predictor import FastPredictor
+from repro.core.kpi import KpiReport
 from repro.core.lifecycle import LifecycleState, LifecycleTransition
 from repro.core.policy import PolicyKind
-from repro.core.kpi import KpiReport
+from repro.core.predictor import HistoryView, predict_next_activity
 
 __all__ = [
     "predict_next_activity",

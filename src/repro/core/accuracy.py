@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import percentile
 from repro.simulation.results import DatabaseOutcome
-from repro.types import ActivityTrace, SECONDS_PER_MINUTE
+from repro.types import SECONDS_PER_MINUTE, ActivityTrace
 
 #: How far the actual login may fall outside the predicted interval and
 #: still count as a hit: the pre-warm would still have been useful.

@@ -12,7 +12,7 @@ prediction latency, and the frequency of allocation/reclamation workflows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 def _percent(part: float, whole: float) -> float:

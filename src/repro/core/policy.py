@@ -20,7 +20,6 @@ is the clairvoyant bounding box of demand.
 from __future__ import annotations
 
 import enum
-from typing import Optional
 
 from repro.types import PredictedActivity
 

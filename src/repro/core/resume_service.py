@@ -12,8 +12,8 @@ iteration pre-warms more than ~100 databases).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Protocol
 
 
 class PrewarmSource(Protocol):

@@ -13,11 +13,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG, ProRPConfig, Seasonality
-from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.experiments.common import (
+    BENCH_SCALE,
+    ExperimentScale,
+    region_fleet,
+    sweep_map,
+)
+from repro.parallel import SweepExecutor
 from repro.simulation.region import simulate_region
 from repro.types import SECONDS_PER_HOUR, SECONDS_PER_MINUTE
 from repro.workload.regions import RegionPreset
@@ -53,6 +59,13 @@ class AblationResult:
         )
 
 
+def _ablation_task(context: Tuple, config: ProRPConfig):
+    """One ablation candidate, worker-side."""
+    preset, scale = context
+    traces = region_fleet(preset, scale)
+    return simulate_region(traces, "proactive", config, scale.settings()).kpis()
+
+
 def _sweep(
     knob: str,
     configs: Sequence[ProRPConfig],
@@ -60,12 +73,14 @@ def _sweep(
     title: str,
     scale: ExperimentScale,
     preset: RegionPreset,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> AblationResult:
-    traces = region_fleet(preset, scale)
-    settings = scale.settings()
+    kpi_reports = sweep_map(
+        _ablation_task, (preset, scale), list(configs), executor, workers
+    )
     rows: List[Dict[str, object]] = []
-    for label, config in zip(labels, configs):
-        kpis = simulate_region(traces, "proactive", config, settings).kpis()
+    for label, kpis in zip(labels, kpi_reports):
         rows.append(
             {
                 knob: label,
@@ -82,6 +97,8 @@ def run_history_length_ablation(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     history_days: Sequence[int] = (7, 14, 21, 28),
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     configs = [DEFAULT_CONFIG.with_overrides(history_days=h) for h in history_days]
     return _sweep(
@@ -93,12 +110,16 @@ def run_history_length_ablation(
         "lifespan or they all count as new]",
         scale,
         preset,
+        executor=executor,
+        workers=workers,
     )
 
 
 def run_seasonality_ablation(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     configs = [
         DEFAULT_CONFIG.with_overrides(seasonality=Seasonality.DAILY),
@@ -115,6 +136,8 @@ def run_seasonality_ablation(
         "results to daily; 'auto' detects the period per database]",
         scale,
         preset,
+        executor=executor,
+        workers=workers,
     )
 
 
@@ -122,6 +145,8 @@ def run_prewarm_ablation(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     prewarm_minutes: Sequence[int] = (1, 5, 15, 60),
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     configs = [
         DEFAULT_CONFIG.with_overrides(prewarm_s=m * MIN) for m in prewarm_minutes
@@ -134,6 +159,8 @@ def run_prewarm_ablation(
         "for login-jitter tolerance]",
         scale,
         preset,
+        executor=executor,
+        workers=workers,
     )
 
 
@@ -141,6 +168,8 @@ def run_logical_pause_ablation(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     pause_hours: Sequence[float] = (0.05, 1, 7, 14),
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     configs = [
         DEFAULT_CONFIG.with_overrides(logical_pause_s=int(h * HOUR))
@@ -155,4 +184,6 @@ def run_logical_pause_ablation(
         "(the Section 1 motivation for logical pauses)]",
         scale,
         preset,
+        executor=executor,
+        workers=workers,
     )

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.parallel import SweepExecutor, resolve_executor
 from repro.simulation.region import SimulationSettings
-from repro.types import ActivityTrace, SECONDS_PER_DAY
+from repro.types import SECONDS_PER_DAY, ActivityTrace
 from repro.workload.regions import RegionPreset, generate_region_traces
 
 DAY = SECONDS_PER_DAY
@@ -106,3 +107,25 @@ def region_fleet(
     return list(
         _cached_fleet(preset.value, scale.n_databases, scale.span_days, scale.seed)
     )
+
+
+def sweep_map(
+    worker: Callable[[Any, Any], Any],
+    context: Any,
+    items: Sequence[Any],
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Fan an experiment sweep out through the shared executor layer.
+
+    Every driver with independent per-knob / per-region simulations routes
+    its loop body through here; ``worker`` must be a module-level function
+    (the multiprocess backend pickles it by reference) and results come
+    back in ``items`` order, so driver output is identical for any
+    backend.  Trace generation is deterministic, so workers rebuild their
+    region fleets from the (tiny) preset + scale description instead of
+    shipping traces across the process boundary; the per-process
+    ``region_fleet`` cache amortises that across a worker's tasks.
+    """
+    backend = resolve_executor(executor, workers)
+    return backend.run(worker, context, items)

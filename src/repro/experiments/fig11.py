@@ -10,11 +10,17 @@ boxes are the reactive policy's resume volume per interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import BoxPlotSummary, box_plot_summary, format_table
 from repro.config import DEFAULT_CONFIG
-from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.experiments.common import (
+    BENCH_SCALE,
+    ExperimentScale,
+    region_fleet,
+    sweep_map,
+)
+from repro.parallel import SweepExecutor
 from repro.simulation.region import simulate_region
 from repro.types import SECONDS_PER_MINUTE
 from repro.workload.regions import RegionPreset
@@ -79,32 +85,56 @@ class Fig11Result:
         )
 
 
+def _fig11_task(context: Tuple, item: Tuple[str, Optional[int]]):
+    """One Figure 11 simulation, worker-side.
+
+    The reactive baseline runs once and returns its per-interval resume
+    buckets for every period; each proactive task reruns the policy with
+    one operation period and returns the pre-warm batch sizes.  Only the
+    small per-row summaries cross the process boundary, never the full
+    simulation result.
+    """
+    preset, scale, period_minutes = context
+    kind, minutes = item
+    traces = region_fleet(preset, scale)
+    settings = scale.settings()
+    if kind == "reactive":
+        result = simulate_region(traces, "reactive", DEFAULT_CONFIG, settings)
+        return {
+            m: result.workflow_counts_per_interval("reactive_resume", m * MIN)
+            for m in period_minutes
+        }
+    config = DEFAULT_CONFIG.with_overrides(resume_operation_period_s=minutes * MIN)
+    return simulate_region(
+        traces, "proactive", config, settings
+    ).prewarm_batch_sizes()
+
+
 def run_fig11(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     period_minutes: Sequence[int] = PERIOD_MINUTES,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> Fig11Result:
     """For each operation period, rerun the proactive policy with that
     period and box-plot the per-iteration pre-warm batch; the reactive
-    baseline's resumes are bucketed on the same interval."""
-    traces = region_fleet(preset, scale)
-    settings = scale.settings()
-    reactive = simulate_region(traces, "reactive", DEFAULT_CONFIG, settings)
+    baseline's resumes are bucketed on the same interval.  The baseline
+    and every per-period rerun fan out through the sweep executor."""
+    period_minutes = tuple(period_minutes)
+    items = [("reactive", None)]
+    items += [("proactive", minutes) for minutes in period_minutes]
+    results = sweep_map(
+        _fig11_task, (preset, scale, period_minutes), items, executor, workers
+    )
+    reactive_buckets = results[0]
     out: List[FrequencyRow] = []
-    for minutes in period_minutes:
-        config = DEFAULT_CONFIG.with_overrides(
-            resume_operation_period_s=minutes * MIN
-        )
-        proactive = simulate_region(traces, "proactive", config, settings)
-        batches = proactive.prewarm_batch_sizes()
-        reactive_buckets = reactive.workflow_counts_per_interval(
-            "reactive_resume", minutes * MIN
-        )
+    for minutes, batches in zip(period_minutes, results[1:]):
         out.append(
             FrequencyRow(
                 period_min=minutes,
                 proactive=box_plot_summary(batches),
-                reactive=box_plot_summary(reactive_buckets),
+                reactive=box_plot_summary(reactive_buckets[minutes]),
             )
         )
     return Fig11Result(out)

@@ -10,12 +10,18 @@ so they contribute pauses but no proactive resumes (Section 9.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import BoxPlotSummary, box_plot_summary, format_table
 from repro.config import DEFAULT_CONFIG
-from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
-from repro.simulation.region import RegionSimulationResult, simulate_region
+from repro.experiments.common import (
+    BENCH_SCALE,
+    ExperimentScale,
+    region_fleet,
+    sweep_map,
+)
+from repro.parallel import SweepExecutor
+from repro.simulation.region import simulate_region
 from repro.types import SECONDS_PER_MINUTE
 from repro.workload.regions import RegionPreset
 
@@ -80,33 +86,51 @@ class Fig12Result:
         )
 
 
+def _fig12_task(context: Tuple, policy: str) -> Dict[str, object]:
+    """One policy's Figure 12 run, worker-side: per-interval pause buckets
+    for every period plus the proactive workflow totals."""
+    preset, scale, period_minutes = context
+    traces = region_fleet(preset, scale)
+    settings = scale.settings()
+    result = simulate_region(traces, policy, DEFAULT_CONFIG, settings)
+    kpis = result.kpis()
+    return {
+        "buckets": {
+            m: result.workflow_counts_per_interval("physical_pause", m * MIN)
+            for m in period_minutes
+        },
+        "physical_pauses": kpis.workflows.physical_pauses,
+        "proactive_resumes": kpis.workflows.proactive_resumes,
+    }
+
+
 def run_fig12(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     period_minutes: Sequence[int] = PERIOD_MINUTES,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> Fig12Result:
     """Bucket physical pauses per interval for both policies (a single run
-    per policy; the interval is a post-processing bucket, as in the paper's
-    telemetry analysis)."""
-    traces = region_fleet(preset, scale)
-    settings = scale.settings()
-    proactive = simulate_region(traces, "proactive", DEFAULT_CONFIG, settings)
-    reactive = simulate_region(traces, "reactive", DEFAULT_CONFIG, settings)
-    proactive_kpis = proactive.kpis()
+    per policy, fanned out through the sweep executor; the interval is a
+    post-processing bucket, as in the paper's telemetry analysis)."""
+    period_minutes = tuple(period_minutes)
+    proactive, reactive = sweep_map(
+        _fig12_task,
+        (preset, scale, period_minutes),
+        ["proactive", "reactive"],
+        executor,
+        workers,
+    )
     out: List[PauseRow] = []
     for minutes in period_minutes:
-        bucket = minutes * MIN
         out.append(
             PauseRow(
                 period_min=minutes,
-                proactive=box_plot_summary(
-                    proactive.workflow_counts_per_interval("physical_pause", bucket)
-                ),
-                reactive=box_plot_summary(
-                    reactive.workflow_counts_per_interval("physical_pause", bucket)
-                ),
-                proactive_total=proactive_kpis.workflows.physical_pauses,
-                proactive_resume_total=proactive_kpis.workflows.proactive_resumes,
+                proactive=box_plot_summary(proactive["buckets"][minutes]),
+                reactive=box_plot_summary(reactive["buckets"][minutes]),
+                proactive_total=proactive["physical_pauses"],
+                proactive_resume_total=proactive["proactive_resumes"],
             )
         )
     return Fig12Result(out)

@@ -9,12 +9,18 @@ pauses; proactive: 3-7% logical + 1-4% wrong + 1-5% correct proactive).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG, ProRPConfig
 from repro.core.kpi import KpiReport
-from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.experiments.common import (
+    BENCH_SCALE,
+    ExperimentScale,
+    region_fleet,
+    sweep_map,
+)
+from repro.parallel import SweepExecutor
 from repro.simulation.region import simulate_region
 from repro.workload.regions import RegionPreset
 
@@ -82,18 +88,31 @@ class Fig6Result:
         )
 
 
+def _fig6_task(context: Tuple, item: Tuple[RegionPreset, str]) -> KpiReport:
+    """One (region, policy) cell of the Figure 6 grid, worker-side."""
+    scale, config = context
+    preset, policy = item
+    traces = region_fleet(preset, scale)
+    return simulate_region(traces, policy, config, scale.settings()).kpis()
+
+
 def run_fig6(
     scale: ExperimentScale = BENCH_SCALE,
     regions: Sequence[RegionPreset] = tuple(RegionPreset),
     config: ProRPConfig = DEFAULT_CONFIG,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> Fig6Result:
+    """Every (region, policy) pair is an independent simulation, so the
+    whole grid fans out through the sweep executor."""
+    items = [(preset, policy) for preset in regions
+             for policy in ("reactive", "proactive")]
+    kpis = sweep_map(_fig6_task, (scale, config), items, executor, workers)
     comparisons = []
-    for preset in regions:
-        traces = region_fleet(preset, scale)
-        settings = scale.settings()
-        reactive = simulate_region(traces, "reactive", config, settings).kpis()
-        proactive = simulate_region(traces, "proactive", config, settings).kpis()
+    for i, preset in enumerate(regions):
         comparisons.append(
-            RegionComparison(preset.value, reactive=reactive, proactive=proactive)
+            RegionComparison(
+                preset.value, reactive=kpis[2 * i], proactive=kpis[2 * i + 1]
+            )
         )
     return Fig6Result(comparisons)

@@ -8,12 +8,18 @@ runs the same comparison on four consecutive one-day windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import format_table
-from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.config import DEFAULT_CONFIG
 from repro.core.kpi import KpiReport
-from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.experiments.common import (
+    BENCH_SCALE,
+    ExperimentScale,
+    region_fleet,
+    sweep_map,
+)
+from repro.parallel import SweepExecutor
 from repro.simulation.region import simulate_region
 from repro.types import SECONDS_PER_DAY
 from repro.workload.regions import RegionPreset
@@ -66,21 +72,32 @@ class Fig7Result:
         )
 
 
+def _fig7_task(context: Tuple, item: Tuple[int, str]) -> KpiReport:
+    """One (evaluation day, policy) cell of Figure 7, worker-side."""
+    preset, scale, n_days = context
+    day_index, policy = item
+    traces = region_fleet(preset, scale)
+    eval_end = scale.eval_end - (n_days - 1 - day_index) * DAY
+    settings = scale.settings(eval_start=eval_end - DAY, eval_end=eval_end)
+    return simulate_region(traces, policy, DEFAULT_CONFIG, settings).kpis()
+
+
 def run_fig7(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     n_days: int = 4,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> Fig7Result:
     """Evaluate ``n_days`` consecutive one-day windows ending at the trace
-    tail (each day gets its own warm-up)."""
-    traces = region_fleet(preset, scale)
+    tail (each day gets its own warm-up).  Each (day, policy) pair is an
+    independent simulation fanned out through the sweep executor."""
+    items = [(i, policy) for i in range(n_days)
+             for policy in ("reactive", "proactive")]
+    kpis = sweep_map(_fig7_task, (preset, scale, n_days), items, executor, workers)
     days: List[DayComparison] = []
     for i in range(n_days):
-        eval_end = scale.eval_end - (n_days - 1 - i) * DAY
-        settings = scale.settings(eval_start=eval_end - DAY, eval_end=eval_end)
-        reactive = simulate_region(traces, "reactive", DEFAULT_CONFIG, settings).kpis()
-        proactive = simulate_region(
-            traces, "proactive", DEFAULT_CONFIG, settings
-        ).kpis()
-        days.append(DayComparison(i + 1, reactive=reactive, proactive=proactive))
+        days.append(
+            DayComparison(i + 1, reactive=kpis[2 * i], proactive=kpis[2 * i + 1])
+        )
     return Fig7Result(days)

@@ -9,11 +9,12 @@ grows from 3% to 8% (8b).  Production picks w = 7h (QoS priority).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG
 from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.parallel import SweepExecutor
 from repro.training import ParameterGrid, TrainingPipeline
 from repro.types import SECONDS_PER_HOUR
 from repro.workload.regions import RegionPreset
@@ -54,9 +55,11 @@ def run_fig8(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     window_hours: Sequence[int] = WINDOW_HOURS,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> Fig8Result:
     traces = region_fleet(preset, scale)
     pipeline = TrainingPipeline(traces, scale.settings())
     grid = ParameterGrid({"window_s": [h * HOUR for h in window_hours]})
-    report = pipeline.run(DEFAULT_CONFIG, grid)
+    report = pipeline.run(DEFAULT_CONFIG, grid, executor=executor, workers=workers)
     return Fig8Result(report.sweep_rows("window_s"))

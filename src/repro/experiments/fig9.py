@@ -9,11 +9,12 @@ Production picks c = 0.1 (QoS priority).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG
 from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.parallel import SweepExecutor
 from repro.training import ParameterGrid, TrainingPipeline
 from repro.workload.regions import RegionPreset
 
@@ -51,9 +52,11 @@ def run_fig9(
     scale: ExperimentScale = BENCH_SCALE,
     preset: RegionPreset = RegionPreset.EU1,
     confidences: Sequence[float] = CONFIDENCES,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
 ) -> Fig9Result:
     traces = region_fleet(preset, scale)
     pipeline = TrainingPipeline(traces, scale.settings())
     grid = ParameterGrid({"confidence": list(confidences)})
-    report = pipeline.run(DEFAULT_CONFIG, grid)
+    report = pipeline.run(DEFAULT_CONFIG, grid, executor=executor, workers=workers)
     return Fig9Result(report.sweep_rows("confidence"))

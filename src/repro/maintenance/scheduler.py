@@ -14,8 +14,8 @@ resume" otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from repro.config import ProRPConfig
 from repro.core.predictor import predict_next_activity

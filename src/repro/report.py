@@ -14,7 +14,7 @@ before digging into individual modules.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.analysis import format_table
 from repro.analysis.archetype_report import archetype_breakdown, format_breakdown
@@ -27,7 +27,7 @@ from repro.simulation.region import (
 )
 from repro.telemetry import TelemetryStore, emit_simulation_telemetry
 from repro.telemetry.monitoring import kpi_rollup, render_dashboard
-from repro.types import ActivityTrace, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_HOUR, ActivityTrace
 
 POLICY_ORDER = ("provisioned", "reactive", "proactive", "optimal")
 

@@ -20,14 +20,22 @@ Action = Callable[[int], None]
 class Timer:
     """Handle for a scheduled event; ``cancel()`` prevents execution."""
 
-    __slots__ = ("time", "_cancelled")
+    __slots__ = ("time", "_cancelled", "_popped", "_on_cancel")
 
-    def __init__(self, time: int):
+    def __init__(self, time: int, on_cancel: Optional[Callable[[], None]] = None):
         self.time = time
         self._cancelled = False
+        self._popped = False
+        self._on_cancel = on_cancel
 
     def cancel(self) -> None:
+        if self._cancelled:
+            return
         self._cancelled = True
+        # Tell the owning queue to drop this entry from its live count,
+        # unless the entry already left the heap.
+        if self._on_cancel is not None and not self._popped:
+            self._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -35,19 +43,30 @@ class Timer:
 
 
 class EventQueue:
-    """Priority queue of timed actions with a monotonic clock."""
+    """Priority queue of timed actions with a monotonic clock.
+
+    ``len(queue)`` counts the *live* (scheduled, not cancelled, not yet
+    executed) entries.  Cancellation is lazy in the heap -- cancelled
+    entries are skipped when popped -- but the count is maintained
+    eagerly, so ``__len__`` is O(1); it sits on hot-path assertions and
+    must not scan the heap.
+    """
 
     def __init__(self, start: int = 0):
         self._now = start
         self._heap: List[Tuple[int, int, Timer, Action]] = []
         self._sequence = itertools.count()
+        self._live = 0
 
     @property
     def now(self) -> int:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for _, __, timer, ___ in self._heap if not timer.cancelled)
+        return self._live
+
+    def _drop_live(self) -> None:
+        self._live -= 1
 
     def schedule(self, time: int, action: Action) -> Timer:
         """Schedule ``action(time)``; returns a cancellable handle."""
@@ -55,8 +74,9 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule an event at t={time} before now={self._now}"
             )
-        timer = Timer(time)
+        timer = Timer(time, on_cancel=self._drop_live)
         heapq.heappush(self._heap, (time, next(self._sequence), timer, action))
+        self._live += 1
         return timer
 
     def schedule_after(self, delay: int, action: Action) -> Timer:
@@ -68,8 +88,11 @@ class EventQueue:
         executed = 0
         while self._heap and self._heap[0][0] <= end:
             time, _, timer, action = heapq.heappop(self._heap)
+            timer._popped = True
             if timer.cancelled:
+                # Already removed from the live count at cancel() time.
                 continue
+            self._live -= 1
             self._now = time
             action(time)
             executed += 1
@@ -81,8 +104,10 @@ class EventQueue:
         executed = 0
         while self._heap:
             time, _, timer, action = heapq.heappop(self._heap)
+            timer._popped = True
             if timer.cancelled:
                 continue
+            self._live -= 1
             self._now = time
             action(time)
             executed += 1

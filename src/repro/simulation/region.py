@@ -28,14 +28,10 @@ from repro.core.resume_service import IterationRecord, ProactiveResumeOperation
 from repro.errors import SimulationError
 from repro.simulation.actor import ProactiveActor, ReactiveActor, _BaseActor
 from repro.simulation.engine import EventQueue
-from repro.simulation.results import (
-    DatabaseOutcome,
-    aggregate,
-    bucket_event_times,
-)
+from repro.simulation.results import DatabaseOutcome, aggregate, bucket_event_times
 from repro.storage.history import HistoryStore
 from repro.storage.metadata import MetadataStore
-from repro.types import ActivityTrace, HistoryEvent, Session, SECONDS_PER_DAY
+from repro.types import SECONDS_PER_DAY, ActivityTrace, HistoryEvent, Session
 from repro.workload.archetypes import maintenance_sessions
 
 

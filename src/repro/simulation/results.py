@@ -16,7 +16,7 @@ into the KPIs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.kpi import IdleBreakdown, KpiReport, LoginStats, WorkflowCounts
 from repro.types import AllocationInterval, AllocationState

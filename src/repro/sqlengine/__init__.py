@@ -23,10 +23,7 @@ Entry point::
 """
 
 from repro.sqlengine.engine import SqlEngine, StatementResult
-from repro.sqlengine.procedures import (
-    SqlHistoryProcedures,
-    SqlMetadataProcedures,
-)
+from repro.sqlengine.procedures import SqlHistoryProcedures, SqlMetadataProcedures
 
 __all__ = [
     "SqlEngine",

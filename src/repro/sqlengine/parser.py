@@ -23,7 +23,7 @@ aggregates MIN/MAX/COUNT, literals, ``@params``, and column references.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import SqlSyntaxError
 from repro.sqlengine import ast

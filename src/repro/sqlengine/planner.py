@@ -12,7 +12,7 @@ expressions and evaluated at execution time after parameter binding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.sqlengine import ast

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.sqlengine.engine import SqlEngine
 from repro.storage.database import Database
 from repro.storage.history import BYTES_PER_TUPLE, DeleteOldHistoryResult
-from repro.types import EventType, HistoryEvent, SECONDS_PER_DAY
+from repro.types import SECONDS_PER_DAY, EventType, HistoryEvent
 
 _CREATE_HISTORY = """
 CREATE TABLE sys.pause_resume_history (

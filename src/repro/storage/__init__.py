@@ -18,11 +18,11 @@ implements that stack from scratch:
 """
 
 from repro.storage.btree import BTree
+from repro.storage.database import Database
+from repro.storage.history import DeleteOldHistoryResult, HistoryStore
+from repro.storage.metadata import DatabaseRecord, DatabaseState, MetadataStore
 from repro.storage.schema import Column, ColumnType, TableSchema
 from repro.storage.table import Table
-from repro.storage.database import Database
-from repro.storage.history import HistoryStore, DeleteOldHistoryResult
-from repro.storage.metadata import MetadataStore, DatabaseRecord, DatabaseState
 
 __all__ = [
     "BTree",

@@ -20,7 +20,7 @@ import json
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.errors import StorageError
 from repro.storage.history import HistoryStore

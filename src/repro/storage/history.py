@@ -24,7 +24,7 @@ from repro.errors import StorageError
 from repro.storage.database import Database
 from repro.storage.schema import history_schema
 from repro.storage.table import Table
-from repro.types import EventType, HistoryEvent, SECONDS_PER_DAY
+from repro.types import SECONDS_PER_DAY, EventType, HistoryEvent
 
 #: Bytes per history tuple: two 64-bit integers (Section 9.3).
 BYTES_PER_TUPLE = 16

@@ -9,8 +9,8 @@ carries the per-database state and the start of the next predicted activity
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import SchemaError
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import DuplicateKeyError, SchemaError, StorageError
+from repro.errors import StorageError
 from repro.storage.btree import BTree
 from repro.storage.schema import TableSchema
 

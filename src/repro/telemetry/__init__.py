@@ -16,16 +16,17 @@ training pipeline (Figure 1, Section 8).  This package provides:
   checks they match the online accounting).
 """
 
+from repro.telemetry.emitter import emit_simulation_telemetry, emit_sweep_telemetry
 from repro.telemetry.events import Component, TelemetryEvent
-from repro.telemetry.store import TelemetryStore
-from repro.telemetry.emitter import emit_simulation_telemetry
 from repro.telemetry.offline import OfflineKpis, evaluate_offline_kpis
+from repro.telemetry.store import TelemetryStore
 
 __all__ = [
     "Component",
     "TelemetryEvent",
     "TelemetryStore",
     "emit_simulation_telemetry",
+    "emit_sweep_telemetry",
     "evaluate_offline_kpis",
     "OfflineKpis",
 ]

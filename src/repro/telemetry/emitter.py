@@ -8,12 +8,15 @@ appends them to a store for offline evaluation (Section 8) and training.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.simulation.region import RegionSimulationResult
 from repro.telemetry.events import Component, TelemetryEvent
 from repro.telemetry.store import TelemetryStore
 from repro.types import ActivityTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.parallel.base import SweepStats
 
 
 def emit_simulation_telemetry(
@@ -74,3 +77,47 @@ def emit_simulation_telemetry(
             ))
             emitted += 1
     return emitted
+
+
+def emit_sweep_telemetry(
+    stats: "SweepStats", store: TelemetryStore, time: int = 0
+) -> int:
+    """Append the telemetry of one sweep-executor run.
+
+    One event per completed task (its wall time and the worker that ran
+    it) plus a run summary carrying queue counts, end-to-end wall time,
+    and the measured speedup -- the operational signals a production
+    training fleet would alert on.  ``time`` anchors the events on the
+    store's timeline (sweeps run on wall clocks, not simulation clocks).
+    Returns the number of events emitted.
+    """
+    for record in stats.tasks:
+        store.append(TelemetryEvent(
+            time,
+            "-",
+            Component.SWEEP_EXECUTOR,
+            {
+                "kind": "task",
+                "task_index": record.index,
+                "wall_ms": round(record.wall_s * 1000.0, 3),
+                "worker": record.worker,
+            },
+        ))
+    store.append(TelemetryEvent(
+        time,
+        "-",
+        Component.SWEEP_EXECUTOR,
+        {
+            "kind": "run",
+            "backend": stats.backend,
+            "workers": stats.workers,
+            "tasks_queued": stats.tasks_queued,
+            "tasks_completed": stats.tasks_completed,
+            "n_chunks": stats.n_chunks,
+            "wall_ms": round(stats.wall_s * 1000.0, 3),
+            "task_wall_ms": round(stats.task_wall_s * 1000.0, 3),
+            "speedup": round(stats.speedup, 3),
+            "fallback_reason": stats.fallback_reason,
+        },
+    ))
+    return len(stats.tasks) + 1

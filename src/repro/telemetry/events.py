@@ -21,6 +21,8 @@ class Component(enum.Enum):
     PREDICTION = "prediction"
     RESUME_OPERATION = "resume_operation"
     LIFECYCLE = "lifecycle"
+    #: The offline sweep execution layer (training / experiment fan-out).
+    SWEEP_EXECUTOR = "sweep_executor"
 
 
 @dataclass(frozen=True)

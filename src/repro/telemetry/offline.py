@@ -10,9 +10,9 @@ which is exactly the cross-check such a pipeline provides in production.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
-from repro.telemetry.events import Component, TelemetryEvent
+from repro.telemetry.events import Component
 from repro.telemetry.store import TelemetryStore
 
 

@@ -9,12 +9,13 @@ service and operational cost efficiency."
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import ProRPConfig
 from repro.core.kpi import KpiReport
 from repro.errors import ConfigError
+from repro.parallel import SweepExecutor, resolve_executor
 from repro.simulation.region import SimulationSettings, simulate_region
 from repro.training.objective import Objective, qos_priority_objective
 from repro.types import ActivityTrace
@@ -85,6 +86,22 @@ class TrainingReport:
         return rows
 
 
+def _evaluate_sweep_task(
+    context: "tuple", config: ProRPConfig
+) -> KpiReport:
+    """Evaluate one candidate config against the shared fleet.
+
+    A module-level function so the multiprocess backend can pickle it by
+    reference; ``context`` (traces + settings) is shipped to each worker
+    once via the pool initializer, never per task.  Scores are *not*
+    computed here -- objectives are arbitrary callables (often closures)
+    and stay in the parent process.
+    """
+    traces, settings = context
+    result = simulate_region(traces, "proactive", config=config, settings=settings)
+    return result.kpis()
+
+
 class TrainingPipeline:
     """Sweep configurations over a training fleet and pick the best."""
 
@@ -94,24 +111,38 @@ class TrainingPipeline:
         settings: SimulationSettings,
         objective: Optional[Objective] = None,
     ):
-        self._traces = traces
+        self._traces = tuple(traces)
         self._settings = settings
         self._objective = objective or qos_priority_objective()
 
     def evaluate(self, config: ProRPConfig) -> CandidateResult:
         """Run the proactive policy under one configuration."""
-        result = simulate_region(
-            self._traces, "proactive", config=config, settings=self._settings
-        )
-        kpis = result.kpis()
+        kpis = _evaluate_sweep_task((self._traces, self._settings), config)
         return CandidateResult(config=config, kpis=kpis, score=self._objective(kpis))
 
-    def run(self, base: ProRPConfig, grid: ParameterGrid) -> TrainingReport:
+    def run(
+        self,
+        base: ProRPConfig,
+        grid: ParameterGrid,
+        executor: Optional[SweepExecutor] = None,
+        workers: Optional[int] = None,
+    ) -> TrainingReport:
         """Evaluate every candidate and select the top scorer.
 
-        Ties break toward the earlier candidate in grid order, which makes
-        the selection deterministic.
+        ``executor`` (or the ``workers`` shorthand) chooses the sweep
+        backend; candidates are always scored and reported in grid order,
+        so the report is identical whichever backend ran the sweep.  Ties
+        break toward the earlier candidate in grid order, which makes the
+        selection deterministic.
         """
-        candidates = [self.evaluate(config) for config in grid.candidates(base)]
+        configs = grid.candidates(base)
+        backend = resolve_executor(executor, workers)
+        kpi_reports = backend.run(
+            _evaluate_sweep_task, (self._traces, self._settings), configs
+        )
+        candidates = [
+            CandidateResult(config=config, kpis=kpis, score=self._objective(kpis))
+            for config, kpis in zip(configs, kpi_reports)
+        ]
         best = max(candidates, key=lambda c: c.score)
         return TrainingReport(candidates=candidates, best=best)

@@ -22,7 +22,7 @@ from repro.workload.archetypes import (
 )
 from repro.workload.generator import FleetSpec, generate_fleet
 from repro.workload.regions import RegionPreset, generate_region_traces, region_spec
-from repro.workload.traces import idle_interval_stats, IdleIntervalStats
+from repro.workload.traces import IdleIntervalStats, idle_interval_stats
 
 __all__ = [
     "Archetype",

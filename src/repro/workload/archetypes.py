@@ -13,10 +13,15 @@ tracker deliberately excludes them from the history (Section 3.3).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
-from repro.types import Session, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_MINUTE
-from repro.types import merge_sessions
+from repro.types import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    Session,
+    merge_sessions,
+)
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

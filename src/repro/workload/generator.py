@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
 
 from repro.errors import TraceError
-from repro.types import ActivityTrace, SECONDS_PER_DAY
+from repro.types import SECONDS_PER_DAY, ActivityTrace
 from repro.workload.archetypes import (
     Archetype,
     BurstyDev,

@@ -10,7 +10,6 @@ four seeds of the same distribution.
 from __future__ import annotations
 
 import enum
-import random
 from typing import List
 
 from repro.types import ActivityTrace

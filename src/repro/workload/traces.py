@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.types import ActivityTrace, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_HOUR, ActivityTrace
 
 
 @dataclass(frozen=True)

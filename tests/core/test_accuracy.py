@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import ProRPConfig
 from repro.core.accuracy import (
     AccuracyReport,
     evaluate_fleet_predictions,
@@ -10,7 +9,7 @@ from repro.core.accuracy import (
 )
 from repro.simulation import SimulationSettings, simulate_region
 from repro.simulation.results import DatabaseOutcome
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

@@ -5,7 +5,7 @@ import pytest
 from repro.core.billing import billing_report
 from repro.core.kpi import IdleBreakdown, KpiReport, LoginStats, WorkflowCounts
 from repro.simulation import SimulationSettings, simulate_region
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

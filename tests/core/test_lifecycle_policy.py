@@ -18,7 +18,7 @@ from repro.core.policy import (
     reactive_wake_time,
 )
 from repro.errors import SimulationError
-from repro.types import PredictedActivity, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_HOUR, PredictedActivity
 
 HOUR = SECONDS_PER_HOUR
 L = 7 * HOUR  # default logical pause duration

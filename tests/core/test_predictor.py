@@ -3,8 +3,7 @@ patterns, and equivalence of the three backends (B-tree store, SQL
 procedures, vectorised NumPy implementation)."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.config import ProRPConfig, Seasonality
 from repro.core.fast_predictor import FastPredictor
@@ -12,11 +11,11 @@ from repro.core.predictor import predict_next_activity
 from repro.sqlengine.procedures import SqlHistoryProcedures
 from repro.storage.history import HistoryStore
 from repro.types import (
-    EventType,
-    PredictedActivity,
     SECONDS_PER_DAY,
     SECONDS_PER_HOUR,
     SECONDS_PER_MINUTE,
+    EventType,
+    PredictedActivity,
 )
 
 DAY = SECONDS_PER_DAY

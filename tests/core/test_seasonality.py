@@ -3,14 +3,10 @@
 import pytest
 
 from repro.config import ProRPConfig, Seasonality
-from repro.core.seasonality import (
-    SeasonalityDiagnosis,
-    config_for_seasonality,
-    detect_seasonality,
-)
+from repro.core.seasonality import config_for_seasonality, detect_seasonality
 from repro.errors import ConfigError
 from repro.simulation import SimulationSettings, simulate_region
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

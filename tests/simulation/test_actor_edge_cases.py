@@ -1,12 +1,15 @@
 """Edge cases of the policy actors: races, capacity pressure, and the
 resume-service interaction."""
 
-import pytest
-
 from repro.config import ProRPConfig
 from repro.simulation import SimulationSettings, simulate_region
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
-from repro.types import SECONDS_PER_MINUTE
+from repro.types import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    ActivityTrace,
+    Session,
+)
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

@@ -1,6 +1,9 @@
 """Tests for the discrete-event engine."""
 
 import pytest
+from hypothesis import given
+from hypothesis import settings as hsettings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.simulation.engine import EventQueue
@@ -82,18 +85,41 @@ class TestEventQueue:
 
     def test_len_ignores_cancelled(self):
         queue = EventQueue()
-        keep = queue.schedule(10, lambda t: None)
+        queue.schedule(10, lambda t: None)
         gone = queue.schedule(20, lambda t: None)
         gone.cancel()
         assert len(queue) == 1
+
+    def test_len_tracks_live_entries_without_scanning(self):
+        # Regression: __len__ is a live counter, not an O(n) heap scan.
+        # Exercise every path that moves the count: schedule, cancel,
+        # double-cancel, execution, and cancel-after-execution.
+        queue = EventQueue()
+        timers = [queue.schedule(10 * i, lambda t: None) for i in range(6)]
+        assert len(queue) == 6
+        timers[0].cancel()
+        timers[0].cancel()  # double cancel must not decrement twice
+        timers[1].cancel()
+        assert len(queue) == 4
+        queue.run_until(20)  # executes t=20 (t=0, t=10 were cancelled)
+        assert len(queue) == 3
+        timers[2].cancel()  # already executed: must not decrement
+        assert len(queue) == 3
+        queue.run_all()
+        assert len(queue) == 0
+
+    def test_len_counts_events_scheduled_during_run(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda t: queue.schedule(15, lambda t2: None))
+        queue.run_until(10)
+        assert len(queue) == 1
+        queue.run_all()
+        assert len(queue) == 0
 
 
 # ---------------------------------------------------------------------------
 # Property-based: the queue matches a sorted-event model
 # ---------------------------------------------------------------------------
-
-from hypothesis import given, settings as hsettings
-from hypothesis import strategies as st
 
 
 @hsettings(max_examples=80, deadline=None)
@@ -116,7 +142,9 @@ def test_queue_matches_sorted_model(entries):
             timer.cancel()
         else:
             expected.append((time, i))
+    assert len(queue) == len(expected)
     queue.run_all()
+    assert len(queue) == 0
     # Stable order: by time, ties by insertion sequence.
     expected.sort(key=lambda pair: (pair[0], pair[1]))
     assert fired == expected

@@ -11,11 +11,10 @@ Whatever the workload, for every policy:
 
 import random
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.simulation import SimulationSettings, simulate_region
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

@@ -5,16 +5,14 @@ the policy: no history events, no login classification, its held time
 tracked outside the customer COGS breakdown.
 """
 
-import pytest
-
+from repro.cluster import Cluster
 from repro.config import ProRPConfig
 from repro.simulation import SimulationSettings, simulate_region
 from repro.simulation.actor import ProactiveActor, ReactiveActor
 from repro.simulation.engine import EventQueue
 from repro.simulation.results import DatabaseOutcome
-from repro.cluster import Cluster
 from repro.storage.metadata import MetadataStore
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

@@ -3,7 +3,6 @@ paper-shaped orderings between policies."""
 
 import pytest
 
-from repro.config import ProRPConfig
 from repro.errors import SimulationError
 from repro.simulation import SimulationSettings, simulate_region
 from repro.simulation.results import bucket_event_times

@@ -1,13 +1,16 @@
 """End-to-end single-database scenarios: Algorithm 1 driving one database
 through known workloads with deterministic settings."""
 
-import pytest
-
 from repro.config import ProRPConfig
 from repro.core.policy import PolicyKind
 from repro.simulation import SimulationSettings, simulate_region
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
-from repro.types import SECONDS_PER_MINUTE
+from repro.types import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    ActivityTrace,
+    Session,
+)
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.errors import (
-    SqlBindingError,
-    SqlExecutionError,
-    TableNotFoundError,
-)
+from repro.errors import SqlBindingError, SqlExecutionError, TableNotFoundError
 from repro.sqlengine.engine import SqlEngine
 from repro.sqlengine.parser import parse
 from repro.sqlengine.planner import plan_scan

@@ -7,9 +7,7 @@ scan.  This pins the planner's bound extraction (including the residual
 re-check paths) to the semantics.
 """
 
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.sqlengine.engine import SqlEngine
 from repro.storage.database import Database

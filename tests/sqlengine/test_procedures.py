@@ -1,13 +1,12 @@
 """Equivalence tests: the SQL-text stored procedures (Algorithms 2/3/5)
 must behave exactly like the direct B-tree implementations."""
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.sqlengine.procedures import SqlHistoryProcedures, SqlMetadataProcedures
 from repro.storage.history import HistoryStore
 from repro.storage.metadata import DatabaseState, MetadataStore
-from repro.types import EventType, SECONDS_PER_DAY, SECONDS_PER_MINUTE
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_MINUTE, EventType
 
 DAY = SECONDS_PER_DAY
 MIN = SECONDS_PER_MINUTE

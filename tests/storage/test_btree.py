@@ -3,8 +3,7 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError
 from repro.storage.btree import BTree

@@ -2,14 +2,12 @@
 (DeleteOldHistory) semantics, plus the queries Algorithm 4 issues."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import StorageError
 from repro.storage.database import Database
 from repro.storage.history import BYTES_PER_TUPLE, HistoryStore
-from repro.types import EventType, HistoryEvent, SECONDS_PER_DAY, Session
-from repro.types import ActivityTrace
+from repro.types import SECONDS_PER_DAY, ActivityTrace, EventType, HistoryEvent, Session
 
 DAY = SECONDS_PER_DAY
 

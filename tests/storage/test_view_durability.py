@@ -2,8 +2,7 @@
 durability (snapshots, restores, node moves)."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import StorageError
 from repro.storage.durability import (

@@ -1,16 +1,9 @@
 """Tests for CDFs, percentiles, box-plot summaries, and table rendering."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.analysis import (
-    BoxPlotSummary,
-    EmpiricalCdf,
-    box_plot_summary,
-    format_table,
-    percentile,
-)
+from repro.analysis import EmpiricalCdf, box_plot_summary, format_table, percentile
 
 
 class TestPercentile:

@@ -1,8 +1,7 @@
 """Tests for the per-archetype KPI breakdown and trace import/export."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.archetype_report import (
     archetype_breakdown,
@@ -11,7 +10,7 @@ from repro.analysis.archetype_report import (
 )
 from repro.errors import TraceError
 from repro.simulation import SimulationSettings, simulate_region
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY
+from repro.types import SECONDS_PER_DAY, ActivityTrace, Session
 from repro.workload import RegionPreset, generate_region_traces
 from repro.workload.io import export_traces, import_traces, trace_from_dict
 

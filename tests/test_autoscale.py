@@ -11,7 +11,7 @@ from repro.autoscale import (
     evaluate_scaler,
 )
 from repro.errors import ConfigError, TraceError
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

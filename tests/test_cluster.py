@@ -59,7 +59,8 @@ class TestNode:
 class TestCluster:
     def test_place_least_loaded(self):
         cluster = Cluster(n_nodes=3, node_capacity=4)
-        nodes = [cluster.place(f"db-{i}") for i in range(6)]
+        for i in range(6):
+            cluster.place(f"db-{i}")
         residents = [len(n.residents) for n in cluster.nodes]
         assert residents == [2, 2, 2]
 
@@ -96,8 +97,8 @@ class TestCluster:
             resume_latency_jitter_s=0,
             move_latency_s=180,
         )
-        a_node = cluster.place("a", cluster.nodes[0])
-        b_node = cluster.place("b", cluster.nodes[0])  # same node, now crowded
+        cluster.place("a", cluster.nodes[0])
+        cluster.place("b", cluster.nodes[0])  # same node, now crowded
         cluster.allocate("a")
         outcome = cluster.allocate("b")
         assert outcome.moved

@@ -6,21 +6,21 @@ not the paper's absolute telemetry values.
 
 import pytest
 
-from repro.experiments.common import ExperimentScale, region_fleet
 from repro.experiments.ablation import (
     run_history_length_ablation,
     run_logical_pause_ablation,
     run_prewarm_ablation,
     run_seasonality_ablation,
 )
+from repro.experiments.common import ExperimentScale, region_fleet
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
-from repro.experiments.fig10 import run_fig10
-from repro.experiments.fig11 import run_fig11
-from repro.experiments.fig12 import run_fig12
 from repro.workload.regions import RegionPreset
 
 #: Small but statistically meaningful scale for driver tests.

@@ -13,7 +13,7 @@ from repro.maintenance import (
 )
 from repro.maintenance.operations import DEFAULT_DURATIONS, ScheduledOperation
 from repro.maintenance.scheduler import build_histories
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 
 DAY = SECONDS_PER_DAY
 HOUR = SECONDS_PER_HOUR

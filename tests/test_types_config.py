@@ -1,21 +1,20 @@
 """Tests for core value types and the Table 1 configuration."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.config import DEFAULT_CONFIG, ProRPConfig, Seasonality
 from repro.errors import ConfigError, TraceError
 from repro.types import (
-    ActivityTrace,
-    AllocationState,
-    HistoryEvent,
-    EventType,
-    PredictedActivity,
-    Session,
     SECONDS_PER_DAY,
     SECONDS_PER_HOUR,
     SECONDS_PER_MINUTE,
+    ActivityTrace,
+    AllocationState,
+    EventType,
+    HistoryEvent,
+    PredictedActivity,
+    Session,
     merge_sessions,
 )
 

@@ -3,10 +3,9 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.types import ActivityTrace, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace
 from repro.workload.archetypes import (
     BurstyDev,
     DailyBusinessHours,
@@ -152,7 +151,6 @@ def test_maintenance_sessions_do_not_overlap():
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=40))
 def test_archetype_fuzz_valid_traces(seed, span_days):
     """Any archetype with any seed yields a valid, bounded trace."""
-    rng = random.Random(seed)
     for archetype in ALL_ARCHETYPES:
         sessions = archetype.generate(0, span_days * DAY, random.Random(seed))
         trace = ActivityTrace(archetype.name, sessions)

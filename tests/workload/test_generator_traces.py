@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TraceError
-from repro.types import ActivityTrace, Session, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR, ActivityTrace, Session
 from repro.workload import (
     FleetSpec,
     RegionPreset,
