@@ -1,14 +1,19 @@
 """Command-line interface for the ProRP reproduction.
 
-Three subcommands::
+Subcommands::
 
     python -m repro simulate --region EU1 --databases 200 --policy proactive
     python -m repro figures --which fig6 fig9 --databases 250
     python -m repro tune --region US1 --databases 150
+    python -m repro observe --databases 50 --chrome-trace trace.json
 
 ``simulate`` prints the KPI report of one policy on one region fleet;
 ``figures`` regenerates evaluation figures (tables to stdout); ``tune``
-runs the training pipeline over the window/confidence grid.
+runs the training pipeline over the window/confidence grid; ``observe``
+runs one instrumented simulation and exports its trace and metrics.
+``simulate``/``figures``/``tune`` also accept the export flags
+(``--trace-out``, ``--metrics-out``, ``--chrome-trace``); passing any of
+them turns the instrumentation on for that run.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.analysis import format_table
 from repro.config import ProRPConfig
 from repro.core.billing import billing_report
 from repro.experiments.common import ExperimentScale
+from repro.observability import OBS, disable, enable, exporters
 from repro.simulation.region import simulate_region
 from repro.training import ParameterGrid, TrainingPipeline
 from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR
@@ -43,17 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run one policy on one region")
     _common_fleet_args(simulate)
-    simulate.add_argument(
-        "--policy",
-        choices=["reactive", "proactive", "optimal", "provisioned"],
-        default="proactive",
-    )
-    simulate.add_argument(
-        "--confidence", type=float, default=0.1, help="threshold c (Table 1)"
-    )
-    simulate.add_argument(
-        "--window-hours", type=float, default=7.0, help="window size w"
-    )
+    _policy_args(simulate)
+    _observability_args(simulate)
 
     figures = sub.add_parser("figures", help="regenerate evaluation figures")
     _common_fleet_args(figures)
@@ -65,16 +62,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figures to regenerate",
     )
     _workers_arg(figures)
+    _observability_args(figures)
 
     tune = sub.add_parser("tune", help="run the training pipeline")
     _common_fleet_args(tune)
     _workers_arg(tune)
+    _observability_args(tune)
 
     digest = sub.add_parser(
         "digest", help="full operator report: all policies + drill-downs"
     )
     _common_fleet_args(digest)
+
+    observe = sub.add_parser(
+        "observe",
+        help="run one instrumented simulation; print the live metrics "
+        "snapshot and export the trace",
+    )
+    _common_fleet_args(observe)
+    _policy_args(observe)
+    _observability_args(observe)
     return parser
+
+
+def _policy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy",
+        choices=["reactive", "proactive", "optimal", "provisioned"],
+        default="proactive",
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=0.1, help="threshold c (Table 1)"
+    )
+    parser.add_argument(
+        "--window-hours", type=float, default=7.0, help="window size w"
+    )
+
+
+def _observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write completed spans as JSONL (one span per line)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics snapshot (JSON when PATH ends in .json, "
+        "plain text otherwise)",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event file (open in chrome://tracing "
+        "or Perfetto)",
+    )
 
 
 def _common_fleet_args(parser: argparse.ArgumentParser) -> None:
@@ -114,6 +153,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         confidence=args.confidence, window_s=int(args.window_hours * HOUR)
     )
     result = simulate_region(traces, args.policy, config, scale.settings())
+    _print_kpi_table(args, result)
+    return 0
+
+
+def _print_kpi_table(args: argparse.Namespace, result) -> None:
     kpis = result.kpis()
     billing = billing_report(kpis)
     print(
@@ -137,7 +181,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"{args.eval_days}-day evaluation",
         )
     )
-    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """One instrumented run: KPI table plus the live metrics snapshot.
+
+    ``main`` has already enabled observability; the exports happen there
+    so they also cover ``simulate``/``figures``/``tune`` with the flags.
+    """
+    status = cmd_simulate(args)
+    print()
+    print(OBS.metrics.format_snapshot(
+        title=f"{args.region} {args.policy} live metrics"
+    ))
+    spans = OBS.tracer.spans
+    if spans:
+        total_ms = max(s.start_ns + s.duration_ns for s in spans) / 1e6
+        print(f"\n{len(spans)} spans recorded over {total_ms:.1f} ms")
+    return status
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -246,10 +307,11 @@ def cmd_digest(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "simulate":
         return cmd_simulate(args)
+    if args.command == "observe":
+        return cmd_observe(args)
     if args.command == "figures":
         return cmd_figures(args)
     if args.command == "tune":
@@ -257,6 +319,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "digest":
         return cmd_digest(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    chrome_trace = getattr(args, "chrome_trace", None)
+    observing = args.command == "observe" or any(
+        (trace_out, metrics_out, chrome_trace)
+    )
+    if not observing:
+        return _dispatch(args)
+    runtime = enable()
+    try:
+        status = _dispatch(args)
+        if trace_out:
+            n = exporters.write_spans_jsonl(runtime.tracer.spans, trace_out)
+            print(f"wrote {n} spans to {trace_out}")
+        if chrome_trace:
+            n = exporters.write_chrome_trace(runtime.tracer.spans, chrome_trace)
+            print(f"wrote {n} trace events to {chrome_trace}")
+        if metrics_out:
+            exporters.write_metrics_snapshot(
+                runtime.metrics, metrics_out, title=f"repro {args.command}"
+            )
+            print(f"wrote {len(runtime.metrics)} metrics to {metrics_out}")
+        return status
+    finally:
+        disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

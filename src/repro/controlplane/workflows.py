@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from repro.errors import WorkflowError
+from repro.observability.runtime import OBS
 
 
 class WorkflowKind(enum.Enum):
@@ -103,6 +104,9 @@ class WorkflowEngine:
         self._next_id += 1
         self.workflows[workflow.workflow_id] = workflow
         self._pending.append(workflow)
+        if OBS.enabled:
+            OBS.metrics.counter(f"workflow.submitted.{kind.value}").inc()
+            OBS.metrics.gauge("workflow.pending").set(len(self._pending))
         return workflow
 
     # ------------------------------------------------------------------
@@ -112,6 +116,17 @@ class WorkflowEngine:
     def tick(self, now: int) -> List[Workflow]:
         """Advance the engine: finish due workflows, start pending ones.
         Returns workflows that reached SUCCEEDED during this tick."""
+        if not OBS.enabled:
+            return self._tick(now)
+        with OBS.tracer.span("workflow.tick", t=now) as span:
+            completed = self._tick(now)
+            span.set_attribute("completed", len(completed))
+        OBS.metrics.counter("workflow.completed").inc(len(completed))
+        OBS.metrics.gauge("workflow.running").set(len(self._running))
+        OBS.metrics.gauge("workflow.pending").set(len(self._pending))
+        return completed
+
+    def _tick(self, now: int) -> List[Workflow]:
         completed: List[Workflow] = []
         still_running: List[Workflow] = []
         for workflow in self._running:
@@ -158,6 +173,8 @@ class WorkflowEngine:
         workflow.retries += 1
         workflow.started_at = None
         self._pending.appendleft(workflow)
+        if OBS.enabled:
+            OBS.metrics.counter("workflow.mitigated").inc()
 
     def fail(self, workflow: Workflow, now: int) -> None:
         """Give up on a workflow (incident escalation)."""
@@ -165,6 +182,8 @@ class WorkflowEngine:
             self._running.remove(workflow)
         workflow.state = WorkflowState.FAILED
         workflow.finished_at = now
+        if OBS.enabled:
+            OBS.metrics.counter("workflow.failed").inc()
 
     # ------------------------------------------------------------------
     # Monitoring surface

@@ -11,12 +11,15 @@ matches the paper's in-engine stored procedure.
 
 from __future__ import annotations
 
+import time as _time
 from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.config import ProRPConfig
+from repro.observability.metrics import LATENCY_BUCKETS_MS
+from repro.observability.runtime import OBS
 from repro.types import PredictedActivity
 
 
@@ -39,6 +42,19 @@ class FastPredictor:
 
     def predict(self, logins: Sequence[int], now: int) -> PredictedActivity:
         """Run the prediction against a sorted array of login timestamps."""
+        if not OBS.enabled:
+            return self._predict(logins, now)
+        started = _time.perf_counter()
+        with OBS.tracer.span("predictor.fast", t=now):
+            prediction = self._predict(logins, now)
+        elapsed_ms = (_time.perf_counter() - started) * 1000.0
+        OBS.metrics.histogram(
+            "predictor.fast.latency_ms", buckets=LATENCY_BUCKETS_MS
+        ).observe(elapsed_ms)
+        OBS.metrics.counter("predictor.fast.calls").inc()
+        return prediction
+
+    def _predict(self, logins: Sequence[int], now: int) -> PredictedActivity:
         config = self.config
         if self._n_windows == 0:
             return PredictedActivity.none()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.errors import SimulationError
+from repro.observability.runtime import OBS
 
 
 class LifecycleState(enum.Enum):
@@ -134,6 +135,12 @@ class Lifecycle:
             )
         if self._record_log:
             self.log.append(TransitionRecord(now, transition, self.state, to_state))
+        if OBS.enabled:
+            OBS.metrics.counter(f"lifecycle.transition.{transition.value}").inc()
+            span = OBS.tracer.current_span
+            if span is not None:
+                span.set_attribute("transition", transition.value)
+                span.set_attribute("db", self.database_id)
         self.state = to_state
         self._last_transition_time = now
         return to_state

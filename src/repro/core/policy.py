@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 
+from repro.observability.runtime import OBS
 from repro.types import PredictedActivity
 
 
@@ -42,6 +43,13 @@ class IdleDecision(enum.Enum):
     PHYSICAL_PAUSE = "physical_pause"
 
 
+def _record_decision(site: str, decision: IdleDecision) -> IdleDecision:
+    """Count the decision in the live metrics registry (when enabled)."""
+    if OBS.enabled:
+        OBS.metrics.counter(f"policy.{site}.{decision.value}").inc()
+    return decision
+
+
 def decide_on_idle(
     now: int,
     old: bool,
@@ -57,10 +65,10 @@ def decide_on_idle(
     every new database, whose history is too short to predict.
     """
     if not next_activity.is_empty and now + logical_pause_s <= next_activity.start:
-        return IdleDecision.PHYSICAL_PAUSE
+        return _record_decision("on_idle", IdleDecision.PHYSICAL_PAUSE)
     if old and next_activity.is_empty:
-        return IdleDecision.PHYSICAL_PAUSE
-    return IdleDecision.LOGICAL_PAUSE
+        return _record_decision("on_idle", IdleDecision.PHYSICAL_PAUSE)
+    return _record_decision("on_idle", IdleDecision.LOGICAL_PAUSE)
 
 
 def logical_pause_wake_time(
@@ -114,12 +122,12 @@ def decide_after_logical_pause(
     hits; see DESIGN.md).
     """
     if not old and pause_start + logical_pause_s <= now:
-        return IdleDecision.PHYSICAL_PAUSE
+        return _record_decision("after_logical_pause", IdleDecision.PHYSICAL_PAUSE)
     if not next_activity.is_empty and now + logical_pause_s <= next_activity.start:
-        return IdleDecision.PHYSICAL_PAUSE
+        return _record_decision("after_logical_pause", IdleDecision.PHYSICAL_PAUSE)
     if old and next_activity.is_empty:
-        return IdleDecision.PHYSICAL_PAUSE
-    return IdleDecision.LOGICAL_PAUSE
+        return _record_decision("after_logical_pause", IdleDecision.PHYSICAL_PAUSE)
+    return _record_decision("after_logical_pause", IdleDecision.LOGICAL_PAUSE)
 
 
 def reactive_idle_decision() -> IdleDecision:

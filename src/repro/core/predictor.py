@@ -18,9 +18,12 @@ the candidate window -- exactly lines 25-33 of the stored procedure.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Optional, Protocol, Tuple
 
 from repro.config import ProRPConfig
+from repro.observability.metrics import LATENCY_BUCKETS_MS
+from repro.observability.runtime import OBS
 from repro.types import PredictedActivity
 
 
@@ -47,6 +50,25 @@ def predict_next_activity(
     window across the horizon reaches the confidence threshold -- this is
     the ``nextActivity.start = 0`` case of Algorithm 1.
     """
+    if not OBS.enabled:
+        return _predict_next_activity(history, config, now)
+    started = _time.perf_counter()
+    with OBS.tracer.span("predictor.reference", t=now):
+        prediction = _predict_next_activity(history, config, now)
+    elapsed_ms = (_time.perf_counter() - started) * 1000.0
+    OBS.metrics.histogram(
+        "predictor.reference.latency_ms", buckets=LATENCY_BUCKETS_MS
+    ).observe(elapsed_ms)
+    OBS.metrics.counter("predictor.reference.calls").inc()
+    return prediction
+
+
+def _predict_next_activity(
+    history: HistoryView,
+    config: ProRPConfig,
+    now: int,
+) -> PredictedActivity:
+    """The uninstrumented Algorithm 4 scan (see the public wrapper)."""
     period = config.seasonality.period_seconds
     periods = config.seasonality_periods_in_history
     window_start = now

@@ -12,8 +12,12 @@ iteration pre-warms more than ~100 databases).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, List, Protocol
+
+from repro.observability.metrics import LATENCY_BUCKETS_MS
+from repro.observability.runtime import OBS
 
 
 class PrewarmSource(Protocol):
@@ -62,6 +66,20 @@ class ProactiveResumeOperation:
 
     def run_once(self, now: int) -> IterationRecord:
         """Execute one iteration at time ``now``: select and pre-warm."""
+        if not OBS.enabled:
+            return self._run_once(now)
+        started = _time.perf_counter()
+        with OBS.tracer.span("resume.scan", t=now) as span:
+            record = self._run_once(now)
+            span.set_attribute("batch_size", record.batch_size)
+        OBS.metrics.histogram(
+            "resume.scan.duration_ms", buckets=LATENCY_BUCKETS_MS
+        ).observe((_time.perf_counter() - started) * 1000.0)
+        OBS.metrics.counter("resume.scan.iterations").inc()
+        OBS.metrics.counter("resume.scan.prewarms").inc(record.batch_size)
+        return record
+
+    def _run_once(self, now: int) -> IterationRecord:
         selected = self._metadata.databases_to_prewarm(
             now, self._prewarm_s, self._period_s
         )

@@ -18,6 +18,8 @@ from typing import Dict, List
 from repro.analysis import EmpiricalCdf, format_table
 from repro.config import DEFAULT_CONFIG, ProRPConfig
 from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.observability.runtime import OBS, observed
+from repro.observability.tracer import NULL_TRACER
 from repro.simulation.region import simulate_region
 from repro.workload.regions import RegionPreset
 
@@ -111,16 +113,30 @@ def run_fig10(
         scale = BENCH_SCALE.smaller(n_databases=BENCH_SCALE.n_databases, eval_days=1)
     traces = region_fleet(preset, scale) + _chatty_tail(scale)
     settings = scale.settings(measure_prediction_latency=True)
-    result = simulate_region(traces, "proactive", config, settings)
+    if OBS.enabled:
+        # Ambient observability (e.g. the CLI's --metrics-out): reuse it.
+        result = simulate_region(traces, "proactive", config, settings)
+        registry = OBS.metrics
+    else:
+        # Panel (c) reads the live metrics layer directly: metrics-only
+        # (spans off -- tracing every engine event would perturb the very
+        # latency being measured).
+        with observed(tracer=NULL_TRACER):
+            result = simulate_region(traces, "proactive", config, settings)
+            registry = OBS.metrics
     tuple_counts = EmpiricalCdf(
         [store.tuple_count for store in result.histories.values()]
     )
     history_kb = EmpiricalCdf(
         [store.size_bytes() / 1024.0 for store in result.histories.values()]
     )
-    latencies = EmpiricalCdf(
-        [s * 1000.0 for s in result.kpis().prediction_latencies_s]
-    )
+    histogram = registry.histogram("predictor.reference.latency_ms")
+    samples = list(histogram.samples)
+    if len(samples) != histogram.count:
+        # Sample buffer overflowed (fleet beyond ~65K predictions): fall
+        # back to the actor-side measurements rather than interpolate.
+        samples = [s * 1000.0 for s in result.kpis().prediction_latencies_s]
+    latencies = EmpiricalCdf(samples)
     return Fig10Result(
         tuple_counts=tuple_counts,
         history_kb=history_kb,

@@ -1,0 +1,84 @@
+"""Exporters: JSONL span log, Chrome trace-event JSON, metrics snapshot.
+
+Three formats, all dependency-free:
+
+* :func:`write_spans_jsonl` -- one JSON object per finished span; the
+  machine-readable log a collector would ship.
+* :func:`write_chrome_trace` -- the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto: one complete ("ph": "X") event per
+  span, timestamps and durations in microseconds.
+* :func:`write_metrics_snapshot` -- the plain-text registry dump of
+  ``MetricsRegistry.format_snapshot`` (plus a JSON variant for tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import SpanRecord
+
+PathLike = Union[str, Path]
+
+
+def write_spans_jsonl(spans: Sequence[SpanRecord], path: PathLike) -> int:
+    """One JSON line per span; returns the number written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(spans)
+
+
+def chrome_trace_events(spans: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """Spans as Trace Event Format "complete" events.
+
+    All spans share pid 1 / tid 1: the simulation is one logical thread,
+    and the viewer nests events by timestamp containment -- which matches
+    the tracer's stack discipline exactly.
+    """
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        args: Dict[str, object] = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": 1,
+                "tid": 1,
+                "cat": span.name.split(".", 1)[0],
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    return events
+
+
+def write_chrome_trace(spans: Sequence[SpanRecord], path: PathLike) -> int:
+    """Write the ``chrome://tracing`` JSON document; returns the event count."""
+    events = chrome_trace_events(spans)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    return len(events)
+
+
+def write_metrics_snapshot(
+    registry: MetricsRegistry, path: PathLike, title: str = "metrics"
+) -> None:
+    """Plain-text snapshot, or JSON when the path ends in ``.json``."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=False),
+            encoding="utf-8",
+        )
+    else:
+        path.write_text(registry.format_snapshot(title) + "\n", encoding="utf-8")

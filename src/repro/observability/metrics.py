@@ -1,0 +1,309 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The registry is the live counterpart of the offline KPI evaluation: the
+instrumented hot paths (engine dispatch, predictor calls, the proactive
+resume scan, B-tree operations) record into it as they run, and the
+Figure 10 overhead experiment reads its percentiles directly instead of
+re-deriving them from simulation results.
+
+Everything here is plain-Python state (dicts, lists, ints) so a registry
+pickles cleanly across the ``repro.parallel`` process boundary; worker
+registries are merged back into the parent with :meth:`MetricsRegistry.merge`
+in submission order, keeping merged snapshots deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ProRPError
+
+Number = Union[int, float]
+
+#: Samples kept verbatim per histogram (exact percentiles until exceeded;
+#: bucket interpolation after).  65536 floats is ~0.5 MB -- far more than
+#: one fleet-day of predictions produces.
+DEFAULT_SAMPLE_LIMIT = 65536
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> List[float]:
+    """``count`` bucket upper bounds growing geometrically from ``start``."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ProRPError(
+            f"invalid bucket spec: start={start}, factor={factor}, count={count}"
+        )
+    bounds = []
+    bound = start
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return bounds
+
+
+#: Default latency buckets in milliseconds: 1 us to ~17 s in ~15% steps.
+LATENCY_BUCKETS_MS = exponential_buckets(0.001, 1.15, 120)
+
+#: Default buckets for dimensionless sizes/counts: 1 to ~1e6 in 25% steps.
+SIZE_BUCKETS = exponential_buckets(1.0, 1.25, 64)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ProRPError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, sim clock, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        # Last write wins; a merged worker snapshot is "later" than the
+        # parent's pre-merge value by construction of the ordered merge.
+        if other.value is not None:
+            self.value = other.value
+
+    def snapshot(self) -> Dict[str, Optional[Number]]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact-sample percentiles.
+
+    ``buckets`` are upper bounds (ascending); an implicit overflow bucket
+    catches values above the last bound.  Observations additionally go to
+    a bounded raw-sample list, so percentiles are exact until the limit is
+    exceeded and bucket-interpolated afterwards.
+    """
+
+    __slots__ = (
+        "name",
+        "buckets",
+        "counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "samples",
+        "sample_limit",
+    )
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    ):
+        bounds = list(LATENCY_BUCKETS_MS if buckets is None else buckets)
+        if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+            raise ProRPError(
+                f"histogram {name!r} needs strictly increasing bucket bounds"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+        self.sample_limit = sample_limit
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.samples) < self.sample_limit:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (p in [0, 100]).
+
+        Exact (nearest-rank over the raw samples) while every observation
+        fits in the sample buffer; linear interpolation inside the owning
+        bucket once the buffer overflowed.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ProRPError(f"percentile {p} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if len(self.samples) == self.count:
+            ordered = sorted(self.samples)
+            rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+            if p == 0.0:
+                rank = 0
+            return ordered[rank]
+        return self._bucket_percentile(p)
+
+    def _bucket_percentile(self, p: float) -> float:
+        target = p / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= target:
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i] if i < len(self.buckets) else (self.max or lo)
+                # Bucket bounds can overshoot what was actually observed;
+                # clamp so percentiles stay within [min, max].
+                if self.min is not None:
+                    lo = max(lo, self.min)
+                if self.max is not None:
+                    hi = min(hi, self.max)
+                if bucket_count == 0 or hi < lo:
+                    return hi
+                fraction = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * fraction
+            cumulative += bucket_count
+        return self.max or 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ProRPError(
+                f"histogram {self.name!r}: cannot merge differing bucket layouts"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        room = self.sample_limit - len(self.samples)
+        if room > 0:
+            self.samples.extend(other.samples[:room])
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": round(self.mean, 6),
+            "p50": round(self.percentile(50.0), 6),
+            "p95": round(self.percentile(95.0), 6),
+            "p99": round(self.percentile(99.0), 6),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, in insertion order.
+
+    The registry is deliberately forgiving on the hot path: ``counter``,
+    ``gauge``, and ``histogram`` are get-or-create, so instrumentation
+    sites never need registration boilerplate.  Asking for an existing
+    name with a different type raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ProRPError(
+                f"metric {name!r} is a {metric.kind}, requested as {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, sample_limit), "histogram"
+        )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (order preserving: existing
+        names keep their slot, new names append in the other's order)."""
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = metric
+            elif mine.kind != metric.kind:
+                raise ProRPError(
+                    f"metric {name!r}: cannot merge {metric.kind} into {mine.kind}"
+                )
+            else:
+                mine.merge(metric)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """name -> {"kind": ..., **metric fields}, in insertion order."""
+        return {
+            name: {"kind": metric.kind, **metric.snapshot()}
+            for name, metric in self._metrics.items()
+        }
+
+    def format_snapshot(self, title: str = "metrics") -> str:
+        """A plain-text snapshot (the ``--metrics-out`` exporter format)."""
+        lines = [f"# {title}: {len(self._metrics)} metrics"]
+        for name, metric in self._metrics.items():
+            if metric.kind == "histogram":
+                s = metric.snapshot()
+                lines.append(
+                    f"{name} histogram count={s['count']} mean={s['mean']} "
+                    f"p50={s['p50']} p95={s['p95']} p99={s['p99']} "
+                    f"min={s['min']} max={s['max']}"
+                )
+            else:
+                lines.append(f"{name} {metric.kind} value={metric.value}")
+        return "\n".join(lines)

@@ -19,6 +19,7 @@ serially too, and re-raising keeps bugs visible.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import pickle
@@ -26,8 +27,11 @@ import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, ContextManager, List, Optional, Sequence, Tuple
 
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runtime import OBS, observed
+from repro.observability.tracer import NULL_TRACER
 from repro.parallel.base import (
     SweepExecutor,
     SweepStats,
@@ -44,6 +48,7 @@ from repro.parallel.serial import SerialExecutor
 _WORKER_FN: Optional[SweepWorker] = None
 _WORKER_CONTEXT: Any = None
 _IN_WORKER = False
+_WORKER_OBSERVE = False
 
 #: Exceptions that mean "the parallel infrastructure failed", as opposed to
 #: "the task itself is buggy".  Only these trigger the serial fallback.
@@ -61,25 +66,38 @@ _INFRASTRUCTURE_ERRORS = (
 )
 
 
-def _init_worker(worker: SweepWorker, context: Any) -> None:
+def _init_worker(worker: SweepWorker, context: Any, observe: bool = False) -> None:
     """Pool initializer: cache the shared sweep state in this process."""
-    global _WORKER_FN, _WORKER_CONTEXT, _IN_WORKER
+    global _WORKER_FN, _WORKER_CONTEXT, _IN_WORKER, _WORKER_OBSERVE
     _WORKER_FN = worker
     _WORKER_CONTEXT = context
     _IN_WORKER = True
+    _WORKER_OBSERVE = observe
 
 
 def _run_chunk(
     chunk: Sequence[Tuple[int, Any]]
-) -> List[Tuple[int, Any, float, int]]:
-    """Evaluate one chunk of (index, item) pairs against the cached state."""
+) -> Tuple[List[Tuple[int, Any, float, int]], Optional[MetricsRegistry]]:
+    """Evaluate one chunk of (index, item) pairs against the cached state.
+
+    When the parent process had observability enabled at submit time, each
+    chunk runs under a fresh metrics-only registry (spans stay local: a
+    worker's tracer stack is meaningless to the parent) which rides back
+    with the results and is merged parent-side in submission order.
+    """
     out: List[Tuple[int, Any, float, int]] = []
     pid = os.getpid()
-    for index, item in chunk:
-        start = time.perf_counter()
-        result = _WORKER_FN(_WORKER_CONTEXT, item)
-        out.append((index, result, time.perf_counter() - start, pid))
-    return out
+    registry: Optional[MetricsRegistry] = None
+    scope: ContextManager[Any] = contextlib.nullcontext()
+    if _WORKER_OBSERVE:
+        registry = MetricsRegistry()
+        scope = observed(tracer=NULL_TRACER, metrics=registry)
+    with scope:
+        for index, item in chunk:
+            start = time.perf_counter()
+            result = _WORKER_FN(_WORKER_CONTEXT, item)
+            out.append((index, result, time.perf_counter() - start, pid))
+    return out, registry
 
 
 class MultiprocessExecutor(SweepExecutor):
@@ -157,21 +175,28 @@ class MultiprocessExecutor(SweepExecutor):
             if self.start_method is not None
             else None
         )
+        observe = OBS.enabled
         with ProcessPoolExecutor(
             max_workers=stats.workers,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(worker, context),
+            initargs=(worker, context, observe),
         ) as pool:
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            # Iterating futures (not as_completed) keeps both the results
+            # and the per-chunk registry merges in submission order, so
+            # merged metrics are identical regardless of scheduling.
             for future in futures:
-                for index, result, wall, pid in future.result():
+                records, registry = future.result()
+                for index, result, wall, pid in records:
                     indexed.append((index, result))
                     stats.tasks.append(
                         TaskRecord(index=index, wall_s=wall, worker=f"pid:{pid}")
                     )
                     stats.task_wall_s += wall
                     stats.tasks_completed += 1
+                if registry is not None and OBS.enabled:
+                    OBS.metrics.merge(registry)
         results = merge_ordered(indexed, len(items))
         stats.wall_s = time.perf_counter() - run_start
         stats.tasks.sort(key=lambda record: record.index)

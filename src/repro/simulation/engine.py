@@ -13,6 +13,7 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.observability.runtime import OBS
 
 Action = Callable[[int], None]
 
@@ -82,10 +83,32 @@ class EventQueue:
     def schedule_after(self, delay: int, action: Action) -> Timer:
         return self.schedule(self._now + delay, action)
 
+    def _dispatch(self, time: int, action: Action) -> None:
+        """Execute one popped event, tracing it when observability is on.
+
+        Every span opened while the action runs (policy, predictor, resume
+        scan, SQL) nests under this ``engine.event`` span -- the dispatch
+        is the root of the per-event trace context.
+        """
+        if OBS.enabled:
+            with OBS.tracer.span("engine.event", t=time):
+                action(time)
+            OBS.metrics.counter("engine.events_dispatched").inc()
+        else:
+            action(time)
+
+    def _record_run_metrics(self, executed: int, start: int) -> None:
+        if OBS.enabled and self._now > start:
+            OBS.metrics.gauge("engine.sim_time").set(self._now)
+            OBS.metrics.gauge("engine.events_per_sim_second").set(
+                executed / (self._now - start)
+            )
+
     def run_until(self, end: int) -> int:
         """Process every event with time <= ``end``; returns the number of
         events executed.  The clock finishes at ``end``."""
         executed = 0
+        run_start = self._now
         while self._heap and self._heap[0][0] <= end:
             time, _, timer, action = heapq.heappop(self._heap)
             timer._popped = True
@@ -94,14 +117,16 @@ class EventQueue:
                 continue
             self._live -= 1
             self._now = time
-            action(time)
+            self._dispatch(time, action)
             executed += 1
         self._now = max(self._now, end)
+        self._record_run_metrics(executed, run_start)
         return executed
 
     def run_all(self) -> int:
         """Process every remaining event."""
         executed = 0
+        run_start = self._now
         while self._heap:
             time, _, timer, action = heapq.heappop(self._heap)
             timer._popped = True
@@ -109,6 +134,7 @@ class EventQueue:
                 continue
             self._live -= 1
             self._now = time
-            action(time)
+            self._dispatch(time, action)
             executed += 1
+        self._record_run_metrics(executed, run_start)
         return executed

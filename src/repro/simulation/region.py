@@ -26,6 +26,8 @@ from repro.core.kpi import KpiReport
 from repro.core.policy import PolicyKind
 from repro.core.resume_service import IterationRecord, ProactiveResumeOperation
 from repro.errors import SimulationError
+from repro.observability.metrics import SIZE_BUCKETS
+from repro.observability.runtime import OBS
 from repro.simulation.actor import ProactiveActor, ReactiveActor, _BaseActor
 from repro.simulation.engine import EventQueue
 from repro.simulation.results import DatabaseOutcome, aggregate, bucket_event_times
@@ -179,6 +181,27 @@ def simulate_region(
             eval_start=span_end - 4 * SECONDS_PER_DAY,
             eval_end=span_end,
         )
+    if not OBS.enabled:
+        return _simulate_region(traces, policy, config, settings)
+    # The root of the run's trace: every engine.event span (and everything
+    # those dispatch into) nests under it.
+    with OBS.tracer.span(
+        "simulate.region", policy=policy.value, n_databases=len(traces)
+    ):
+        result = _simulate_region(traces, policy, config, settings)
+    for store in result.histories.values():
+        OBS.metrics.histogram("history.tuples", buckets=SIZE_BUCKETS).observe(
+            store.tuple_count
+        )
+    return result
+
+
+def _simulate_region(
+    traces: Sequence[ActivityTrace],
+    policy: PolicyKind,
+    config: ProRPConfig,
+    settings: SimulationSettings,
+) -> RegionSimulationResult:
     if policy is PolicyKind.OPTIMAL:
         return _simulate_optimal(traces, config, settings)
     if policy is PolicyKind.PROVISIONED:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.observability.runtime import OBS
 from repro.sqlengine import ast
 from repro.sqlengine.executor import Executor, Row
 from repro.sqlengine.parser import parse
@@ -48,11 +49,23 @@ class SqlEngine:
         if statement is None:
             statement = parse(sql)
             self._statement_cache[sql] = statement
+            if OBS.enabled:
+                OBS.metrics.counter("sql.statements_parsed").inc()
         return statement
 
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> StatementResult:
         """Parse, plan, and execute one statement with ``@param`` bindings."""
         statement = self.prepare(sql)
+        if OBS.enabled:
+            kind = type(statement).__name__.lower()
+            OBS.metrics.counter(f"sql.executed.{kind}").inc()
+            with OBS.tracer.span("sql.execute", kind=kind):
+                return self._execute(statement, params)
+        return self._execute(statement, params)
+
+    def _execute(
+        self, statement: ast.Statement, params: Optional[Dict[str, Any]]
+    ) -> StatementResult:
         bound = params or {}
         if isinstance(statement, ast.Select):
             rows = self._executor.select(statement, bound)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import SqlBindingError, SqlExecutionError
+from repro.observability.runtime import OBS
 from repro.sqlengine import ast
 from repro.sqlengine.planner import ScanPlan, plan_scan
 from repro.storage.database import Database
@@ -186,6 +187,20 @@ class Executor:
     # -- scans ----------------------------------------------------------
 
     def _rows_for_plan(self, plan: ScanPlan, params: Params) -> Iterator[Row]:
+        if OBS.enabled:
+            OBS.metrics.counter(f"sql.scans.{plan.kind}").inc()
+            return self._count_rows(self._plan_rows(plan, params))
+        return self._plan_rows(plan, params)
+
+    @staticmethod
+    def _count_rows(rows: Iterable[Row]) -> Iterator[Row]:
+        """Pass rows through, counting them in the live registry."""
+        counter = OBS.metrics.counter("sql.rows_scanned")
+        for row in rows:
+            counter.inc()
+            yield row
+
+    def _plan_rows(self, plan: ScanPlan, params: Params) -> Iterator[Row]:
         table = self._database.table(plan.table)
         if plan.kind == "full":
             rows: Iterable[Row] = table.scan()

@@ -20,6 +20,7 @@ import bisect
 from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.observability.runtime import OBS
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -124,6 +125,8 @@ class BTree(Generic[K, V]):
 
     def insert(self, key: K, value: V) -> None:
         """Insert a unique key.  Raises DuplicateKeyError if present."""
+        if OBS.enabled:
+            OBS.metrics.counter("btree.inserts").inc()
         root = self._root
         if len(root.keys) == self._order:
             new_root: _Node[K, V] = _Node()
@@ -187,6 +190,8 @@ class BTree(Generic[K, V]):
 
     def delete(self, key: K) -> V:
         """Delete ``key`` and return its value; raises KeyNotFoundError."""
+        if OBS.enabled:
+            OBS.metrics.counter("btree.deletes").inc()
         value = self._delete(self._root, key)
         if not self._root.keys and self._root.children:
             self._root = self._root.children[0]
@@ -328,7 +333,11 @@ class BTree(Generic[K, V]):
         This is the range query used by Algorithm 3 (delete range) and
         Algorithm 4 (MIN/MAX over a window of a previous day).
         """
-        yield from self._range_node(self._root, lo, hi, include_lo, include_hi)
+        # Counted eagerly (not in the generator body) so a scan that is
+        # requested but never consumed still shows up in the registry.
+        if OBS.enabled:
+            OBS.metrics.counter("btree.range_scans").inc()
+        return self._range_node(self._root, lo, hi, include_lo, include_hi)
 
     def _range_node(
         self,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
+from repro.observability.runtime import OBS
 from repro.storage.database import Database
 from repro.storage.schema import history_schema
 from repro.storage.table import Table
@@ -75,6 +76,8 @@ class HistoryStore:
         )
         if inserted and event_type == EventType.ACTIVITY_START:
             bisect.insort(self._logins, time_snapshot)
+        if OBS.enabled and inserted:
+            OBS.metrics.counter("history.inserts").inc()
         return inserted
 
     def bulk_load(self, events: Iterable[HistoryEvent]) -> int:
@@ -115,6 +118,8 @@ class HistoryStore:
             lo = bisect.bisect_right(self._logins, min_timestamp)
             hi = bisect.bisect_left(self._logins, history_start)
             del self._logins[lo:hi]
+        if OBS.enabled:
+            OBS.metrics.counter("history.trimmed_tuples").inc(deleted)
         return DeleteOldHistoryResult(
             old=True, deleted=deleted, min_timestamp=min_timestamp
         )
@@ -133,12 +138,17 @@ class HistoryStore:
         """
         first: Optional[int] = None
         last: Optional[int] = None
+        rows_scanned = 0
         for row in self._table.key_range(window_start, window_end):
+            rows_scanned += 1
             if row["event_type"] != int(EventType.ACTIVITY_START):
                 continue
             if first is None:
                 first = row["time_snapshot"]
             last = row["time_snapshot"]
+        if OBS.enabled:
+            OBS.metrics.counter("history.range_queries").inc()
+            OBS.metrics.counter("history.rows_scanned").inc(rows_scanned)
         return first, last
 
     def login_timestamps(self) -> Sequence[int]:

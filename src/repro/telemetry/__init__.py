@@ -16,7 +16,11 @@ training pipeline (Figure 1, Section 8).  This package provides:
   checks they match the online accounting).
 """
 
-from repro.telemetry.emitter import emit_simulation_telemetry, emit_sweep_telemetry
+from repro.telemetry.emitter import (
+    emit_observability_telemetry,
+    emit_simulation_telemetry,
+    emit_sweep_telemetry,
+)
 from repro.telemetry.events import Component, TelemetryEvent
 from repro.telemetry.offline import OfflineKpis, evaluate_offline_kpis
 from repro.telemetry.store import TelemetryStore
@@ -25,6 +29,7 @@ __all__ = [
     "Component",
     "TelemetryEvent",
     "TelemetryStore",
+    "emit_observability_telemetry",
     "emit_simulation_telemetry",
     "emit_sweep_telemetry",
     "evaluate_offline_kpis",

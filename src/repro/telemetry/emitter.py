@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.observability.tracer import SpanRecord
 from repro.simulation.region import RegionSimulationResult
 from repro.telemetry.events import Component, TelemetryEvent
 from repro.telemetry.store import TelemetryStore
@@ -76,6 +77,48 @@ def emit_simulation_telemetry(
                 {"batch_size": iteration.batch_size},
             ))
             emitted += 1
+    return emitted
+
+
+def emit_observability_telemetry(
+    spans: Sequence[SpanRecord], store: TelemetryStore
+) -> int:
+    """Drain live tracer spans into the long-term store.
+
+    Only spans carrying a ``t`` attribute are emitted -- those are the ones
+    anchored on the simulation timeline (engine dispatch, predictions, the
+    resume scan); wall-clock-only spans (SQL statements, B-tree ops) have
+    no meaningful position in the store's partitioning.  ``resume.scan``
+    spans become :attr:`Component.RESUME_OPERATION` events, replacing the
+    post-hoc replay of iteration records with the live trace itself --
+    no dual bookkeeping.  Everything else lands under
+    :attr:`Component.OBSERVABILITY` with its name and wall duration.
+    Returns the number of events emitted.
+    """
+    emitted = 0
+    for span in spans:
+        t = span.attributes.get("t")
+        if t is None:
+            continue
+        database_id = str(span.attributes.get("db", "-"))
+        if span.name == "resume.scan":
+            store.append(TelemetryEvent(
+                int(t),
+                database_id,
+                Component.RESUME_OPERATION,
+                {"batch_size": span.attributes.get("batch_size", 0)},
+            ))
+        else:
+            store.append(TelemetryEvent(
+                int(t),
+                database_id,
+                Component.OBSERVABILITY,
+                {
+                    "span": span.name,
+                    "duration_us": round(span.duration_ns / 1000.0, 3),
+                },
+            ))
+        emitted += 1
     return emitted
 
 

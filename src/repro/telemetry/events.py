@@ -23,6 +23,8 @@ class Component(enum.Enum):
     LIFECYCLE = "lifecycle"
     #: The offline sweep execution layer (training / experiment fan-out).
     SWEEP_EXECUTOR = "sweep_executor"
+    #: Spans drained from the live tracing layer (repro.observability).
+    OBSERVABILITY = "observability"
 
 
 @dataclass(frozen=True)

@@ -108,6 +108,28 @@ class TestEventQueue:
         queue.run_all()
         assert len(queue) == 0
 
+    def test_cancel_of_popped_timer_never_undercounts(self):
+        # Regression: once an entry is popped for execution it has already
+        # left the live count; cancelling its timer at that point (e.g. an
+        # actor cancelling its own wake-up from inside the wake-up action)
+        # must not decrement again, or len() would drop below the true
+        # number of live entries.
+        queue = EventQueue()
+        holder = {}
+        other = queue.schedule(20, lambda t: None)
+
+        def self_cancel(t):
+            holder["timer"].cancel()  # popped: must not touch the count
+            holder["timer"].cancel()  # nor on a double cancel
+            assert len(queue) == 1  # only `other` is live
+
+        holder["timer"] = queue.schedule(10, self_cancel)
+        assert len(queue) == 2
+        queue.run_until(15)
+        assert len(queue) == 1
+        other.cancel()
+        assert len(queue) == 0
+
     def test_len_counts_events_scheduled_during_run(self):
         queue = EventQueue()
         queue.schedule(5, lambda t: queue.schedule(15, lambda t2: None))
