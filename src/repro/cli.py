@@ -6,11 +6,14 @@ Subcommands::
     python -m repro figures --which fig6 fig9 --databases 250
     python -m repro tune --region US1 --databases 150
     python -m repro observe --databases 50 --chrome-trace trace.json
+    python -m repro chaos --fault-rates 0.0 0.1 --check-monotonic
 
 ``simulate`` prints the KPI report of one policy on one region fleet;
 ``figures`` regenerates evaluation figures (tables to stdout); ``tune``
 runs the training pipeline over the window/confidence grid; ``observe``
-runs one instrumented simulation and exports its trace and metrics.
+runs one instrumented simulation and exports its trace and metrics;
+``chaos`` sweeps an injected fault rate against QoS/COGS
+(docs/resilience.md).
 ``simulate``/``figures``/``tune`` also accept the export flags
 (``--trace-out``, ``--metrics-out``, ``--chrome-trace``); passing any of
 them turns the instrumentation on for that run.
@@ -68,6 +71,44 @@ def build_parser() -> argparse.ArgumentParser:
     _common_fleet_args(tune)
     _workers_arg(tune)
     _observability_args(tune)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: fault rate vs QoS/COGS "
+        "(see docs/resilience.md)",
+    )
+    _common_fleet_args(chaos)
+    _workers_arg(chaos)
+    chaos.add_argument(
+        "--fault-rates",
+        type=float,
+        nargs="+",
+        default=None,
+        help="per-consultation fault probabilities to sweep "
+        "(default: 0.0 0.02 0.05 0.1)",
+    )
+    chaos.add_argument(
+        "--points",
+        nargs="+",
+        default=None,
+        metavar="POINT",
+        help="fault points for the uniform sweep plan "
+        "(default: predictor.exception resume.scan.unavailable "
+        "cluster.node.crash)",
+    )
+    chaos.add_argument(
+        "--plan",
+        metavar="PATH",
+        default=None,
+        help="JSON fault plan file; replaces the rate sweep with a single "
+        "run of exactly this plan",
+    )
+    chaos.add_argument(
+        "--check-monotonic",
+        action="store_true",
+        help="exit non-zero unless QoS is non-increasing as the fault "
+        "rate grows (0.5pp slack per step for sampling noise)",
+    )
 
     digest = sub.add_parser(
         "digest", help="full operator report: all policies + drill-downs"
@@ -249,6 +290,35 @@ def _run_figure(name: str, scale: ExperimentScale, workers: int = 1):
     raise ValueError(f"unknown figure {name!r}")  # pragma: no cover
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        DEFAULT_FAULT_RATES,
+        DEFAULT_POINTS,
+        run_chaos,
+    )
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.load(args.plan) if args.plan else None
+    result = run_chaos(
+        scale=_scale(args),
+        preset=RegionPreset(args.region),
+        fault_rates=tuple(args.fault_rates or DEFAULT_FAULT_RATES),
+        points=tuple(args.points or DEFAULT_POINTS),
+        plan=plan,
+        workers=args.workers,
+    )
+    print(result.table())
+    if args.check_monotonic:
+        if plan is not None or len(result.rows()) < 2:
+            print("--check-monotonic needs a rate sweep of >= 2 rates")
+            return 2
+        if not result.qos_monotonic(tolerance=0.5):
+            print("FAIL: QoS did not degrade monotonically with fault rate")
+            return 1
+        print("OK: QoS non-increasing across the fault-rate sweep")
+    return 0
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     scale = _scale(args)
     traces = generate_region_traces(
@@ -316,6 +386,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_figures(args)
     if args.command == "tune":
         return cmd_tune(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "digest":
         return cmd_digest(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -8,6 +8,12 @@ from typing import Dict, List, Optional
 
 from repro.cluster.node import Node
 from repro.errors import CapacityError
+from repro.faults.runtime import FAULTS
+
+#: Fault point consulted once per allocation: the database's home node
+#: crashes mid-resume, forcing a failover move to another node (or a slow
+#: in-place recovery when the cluster has no room).
+NODE_CRASH_FAULT_POINT = "cluster.node.crash"
 
 
 @dataclass(frozen=True)
@@ -86,9 +92,33 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def allocate(self, database_id: str) -> AllocationOutcome:
-        """Resume compute for a database, moving it if its node is full."""
+        """Resume compute for a database, moving it if its node is full.
+
+        When the ``cluster.node.crash`` fault fires, the home node dies
+        mid-resume: the database fails over to another node (paying the
+        crash-detection + move latency), or recovers in place at the
+        over-subscription latency when no other node has room.
+        """
         node = self.node_of(database_id)
         moved = False
+        crashed = FAULTS.enabled and FAULTS.injector.should_fire(
+            NODE_CRASH_FAULT_POINT
+        )
+        if crashed:
+            target = self._least_loaded_with_room(exclude=node)
+            if target is None:
+                # Nowhere to fail over: wait out the node recovery and
+                # resume in place at a steep latency.
+                node.allocate(database_id, force=True)
+                latency = self._base_latency() + 2 * self._move_latency_s
+                return AllocationOutcome(latency, moved=False, node_id=node.node_id)
+            node.evict(database_id)
+            target.place(database_id)
+            self._by_database[database_id] = target
+            target.allocate(database_id)
+            self.moves += 1
+            latency = self._base_latency() + 2 * self._move_latency_s
+            return AllocationOutcome(latency, moved=True, node_id=target.node_id)
         if node.free_slots <= 0:
             target = self._least_loaded_with_room()
             if target is None:
@@ -115,8 +145,12 @@ class Cluster:
         node = self._by_database.get(database_id)
         return node is not None and database_id in node.allocated
 
-    def _least_loaded_with_room(self) -> Optional[Node]:
-        candidates = [node for node in self.nodes if node.free_slots > 0]
+    def _least_loaded_with_room(self, exclude: Optional[Node] = None) -> Optional[Node]:
+        candidates = [
+            node
+            for node in self.nodes
+            if node.free_slots > 0 and node is not exclude
+        ]
         if not candidates:
             return None
         return min(candidates, key=lambda n: n.utilization)

@@ -15,6 +15,8 @@ stuck workflows and escalates to incidents.
 
 from repro.controlplane.diagnostics import DiagnosticsRunner, Incident
 from repro.controlplane.workflows import (
+    CRASH_POINT,
+    STUCK_POINT,
     Workflow,
     WorkflowEngine,
     WorkflowKind,
@@ -22,6 +24,8 @@ from repro.controlplane.workflows import (
 )
 
 __all__ = [
+    "CRASH_POINT",
+    "STUCK_POINT",
     "Workflow",
     "WorkflowEngine",
     "WorkflowKind",

@@ -9,13 +9,22 @@ without entangling the KPI simulator.
 from __future__ import annotations
 
 import enum
-import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from repro.errors import WorkflowError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.observability.runtime import OBS
+
+#: Fault point consulted when a workflow starts: it hangs instead of
+#: progressing (the Section 7 failure mode the diagnostics runner retries).
+STUCK_POINT = "workflow.stuck"
+
+#: Fault point consulted when a workflow starts: it dies outright and goes
+#: terminal FAILED without any mitigation window (node loss mid-workflow).
+CRASH_POINT = "workflow.crash"
 
 
 class WorkflowKind(enum.Enum):
@@ -60,7 +69,11 @@ class WorkflowEngine:
 
     ``stuck_probability`` is the chance that a started workflow hangs
     instead of completing -- the failure mode the diagnostics runner of
-    Section 7 exists to mitigate.
+    Section 7 exists to mitigate.  Fault decisions flow through a
+    :class:`repro.faults.FaultInjector`: by default the engine builds one
+    from ``stuck_probability``/``seed``, and callers (chaos experiments)
+    may pass their own ``injector`` with :data:`STUCK_POINT` and/or
+    :data:`CRASH_POINT` specs to drive richer failure schedules.
     """
 
     def __init__(
@@ -69,6 +82,7 @@ class WorkflowEngine:
         default_duration_s: int = 45,
         stuck_probability: float = 0.0,
         seed: int = 0,
+        injector: Optional[FaultInjector] = None,
     ):
         if max_concurrent <= 0:
             raise WorkflowError("max_concurrent must be positive")
@@ -77,11 +91,23 @@ class WorkflowEngine:
         self._max_concurrent = max_concurrent
         self._default_duration_s = default_duration_s
         self._stuck_probability = stuck_probability
-        self._rng = random.Random(seed)
+        if injector is None:
+            plan = (
+                FaultPlan.of(FaultSpec(STUCK_POINT, probability=stuck_probability))
+                if stuck_probability > 0.0
+                else FaultPlan.empty()
+            )
+            injector = FaultInjector(plan, seed=seed)
+        self._injector = injector
         self._next_id = 0
         self._pending: Deque[Workflow] = deque()
         self._running: List[Workflow] = []
         self.workflows: Dict[int, Workflow] = {}
+
+    @property
+    def injector(self) -> FaultInjector:
+        """The fault injector driving stuck/crash decisions."""
+        return self._injector
 
     # ------------------------------------------------------------------
     # Submission
@@ -142,9 +168,18 @@ class WorkflowEngine:
         self._running = still_running
         while self._pending and len(self._running) < self._max_concurrent:
             workflow = self._pending.popleft()
+            if self._injector.should_fire(CRASH_POINT, now):
+                # The workflow dies outright: terminal, one incident-worthy
+                # failure, never enters the running set.
+                workflow.state = WorkflowState.FAILED
+                workflow.started_at = now
+                workflow.finished_at = now
+                if OBS.enabled:
+                    OBS.metrics.counter("workflow.crashed").inc()
+                continue
             workflow.state = WorkflowState.RUNNING
             workflow.started_at = now
-            if self._rng.random() < self._stuck_probability:
+            if self._injector.should_fire(STUCK_POINT, now):
                 workflow.state = WorkflowState.STUCK
             self._running.append(workflow)
         return completed

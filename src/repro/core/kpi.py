@@ -27,6 +27,11 @@ class LoginStats:
     with_resources: int = 0
     #: Logins that triggered a reactive resume (resources were reclaimed).
     reactive: int = 0
+    #: The subset of ``reactive`` attributable to injected faults or
+    #: fault-degraded (reactive-fallback) operation rather than to the
+    #: policy's own decisions -- kept separate so chaos experiments can
+    #: tell "the policy was wrong" from "the infrastructure failed".
+    reactive_faulted: int = 0
 
     @property
     def total(self) -> int:
@@ -40,6 +45,11 @@ class LoginStats:
     @property
     def reactive_percent(self) -> float:
         return _percent(self.reactive, self.total)
+
+    @property
+    def fault_affected_percent(self) -> float:
+        """% of first logins degraded by faults rather than by the policy."""
+        return _percent(self.reactive_faulted, self.total)
 
 
 @dataclass(frozen=True)
@@ -175,6 +185,7 @@ class KpiReport:
             "logins_total": self.logins.total,
             "logins_with_resources": self.logins.with_resources,
             "logins_reactive": self.logins.reactive,
+            "logins_reactive_faulted": self.logins.reactive_faulted,
             "proactive_resumes": self.workflows.proactive_resumes,
             "reactive_resumes": self.workflows.reactive_resumes,
             "logical_pauses": self.workflows.logical_pauses,

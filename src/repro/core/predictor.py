@@ -22,9 +22,15 @@ import time as _time
 from typing import Optional, Protocol, Tuple
 
 from repro.config import ProRPConfig
+from repro.faults.runtime import FAULTS
 from repro.observability.metrics import LATENCY_BUCKETS_MS
 from repro.observability.runtime import OBS
 from repro.types import PredictedActivity
+
+#: Fault point consulted per instrumented prediction: a latency spike that
+#: inflates the recorded wall-clock latency by the spec's ``latency_s``
+#: (the paper's Figure 10(c) tail, made reproducible on demand).
+LATENCY_FAULT_POINT = "predictor.latency"
 
 
 class HistoryView(Protocol):
@@ -56,6 +62,8 @@ def predict_next_activity(
     with OBS.tracer.span("predictor.reference", t=now):
         prediction = _predict_next_activity(history, config, now)
     elapsed_ms = (_time.perf_counter() - started) * 1000.0
+    if FAULTS.enabled:
+        elapsed_ms += FAULTS.injector.latency_s(LATENCY_FAULT_POINT, now) * 1000.0
     OBS.metrics.histogram(
         "predictor.reference.latency_ms", buckets=LATENCY_BUCKETS_MS
     ).observe(elapsed_ms)

@@ -83,6 +83,35 @@ class SimulationError(ProRPError):
     """An inconsistency detected while running the discrete-event simulator."""
 
 
+# ---------------------------------------------------------------------------
+# Fault injection and resilience
+# ---------------------------------------------------------------------------
+
+
+class FaultPlanError(ProRPError):
+    """An invalid fault plan (bad probability, window, or document)."""
+
+
+class FaultInjectedError(ProRPError):
+    """A failure injected by the fault engine at a named fault point.
+
+    Carries the fault-point name so resilience layers (and tests) can tell
+    injected failures apart from organic ones.
+    """
+
+    def __init__(self, point: str, message: str = ""):
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
+class DeadlineExceededError(ProRPError):
+    """An operation ran past its deadline budget."""
+
+
+class CircuitOpenError(ProRPError):
+    """A call was refused because its circuit breaker is open."""
+
+
 class TraceError(ProRPError):
     """A customer-activity trace violates ordering or overlap invariants."""
 

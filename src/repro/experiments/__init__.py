@@ -18,6 +18,7 @@ fig11     Proactive-resume workflow frequency (Figure 11)
 fig12     Physical-pause workflow frequency (Figure 12)
 ablation  Design-choice studies: pre-warm k, history length,
           seasonality, logical-pause duration, predictor backends
+chaos     Fault-rate sweep against QoS/COGS (``docs/resilience.md``)
 ========  ==========================================================
 """
 

@@ -1,0 +1,155 @@
+"""Chaos experiment: sweep fault rate against the paper's KPIs.
+
+Every row arms the fault injector with one plan (by default a uniform plan
+over a small set of high-impact fault points), simulates the proactive
+policy over the same fleet, and reports QoS, COGS, and the resilience
+ledger (fault fires, scan retries, predictor breaker opens).  Rate 0.0 is
+the control: its KPIs are byte-identical to an un-chaosed run, which the
+test suite asserts.
+
+Determinism: each sweep task arms ``FAULTS`` *inside* the worker function
+with a per-point-seeded injector, so a task's fault schedule depends only
+on (plan, seed) -- not on which process ran it or in what order.  Serial
+and multiprocess executors therefore produce identical rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_table
+from repro.config import DEFAULT_CONFIG
+from repro.core.policy import PolicyKind
+from repro.experiments.common import (
+    BENCH_SCALE,
+    ExperimentScale,
+    region_fleet,
+    sweep_map,
+)
+from repro.faults import FaultPlan, chaos
+from repro.parallel import SweepExecutor
+from repro.simulation.region import simulate_region
+from repro.workload.regions import RegionPreset
+
+#: The x-axis of the default chaos sweep: per-consultation fault
+#: probability applied uniformly to every swept point.
+DEFAULT_FAULT_RATES = (0.0, 0.02, 0.05, 0.1)
+
+#: High-impact fault points swept by default: predictor failures trip the
+#: breaker into reactive fallback, scan outages starve the pre-warm cycle
+#: (bounded by its retry policy), and node crashes stretch resume latency.
+DEFAULT_POINTS = (
+    "predictor.exception",
+    "resume.scan.unavailable",
+    "cluster.node.crash",
+)
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """One row per swept plan, in sweep order."""
+
+    rows_by_rate: List[Dict[str, object]]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return self.rows_by_rate
+
+    def qos_monotonic(self, tolerance: float = 0.0) -> bool:
+        """Whether QoS is non-increasing as the fault rate grows (within
+        ``tolerance`` percentage points of slack per step).  Only
+        meaningful for the rate sweep; rows are compared in sweep order."""
+        qos = [float(row["qos_percent"]) for row in self.rows_by_rate]
+        return all(b <= a + tolerance for a, b in zip(qos, qos[1:]))
+
+    def table(self) -> str:
+        rows = [
+            [
+                row["fault_rate"],
+                round(float(row["qos_percent"]), 1),
+                round(float(row["idle_percent"]), 2),
+                round(float(row["unavailable_percent"]), 2),
+                row["logins_reactive_faulted"],
+                row["fault_fires"],
+                row["scan_retries"],
+                row["breaker_opens"],
+            ]
+            for row in self.rows_by_rate
+        ]
+        return format_table(
+            [
+                "fault rate",
+                "QoS%",
+                "idle%",
+                "unavail%",
+                "faulted logins",
+                "fires",
+                "retries",
+                "breaker opens",
+            ],
+            rows,
+            title="Chaos: fault rate vs QoS/COGS (uniform plan over swept points)",
+        )
+
+
+def _chaos_worker(
+    context: Tuple[str, ExperimentScale], item: Tuple[object, Dict[str, object]]
+) -> Dict[str, object]:
+    """One sweep task: arm the plan, simulate, report KPIs + fault ledger.
+
+    Arming happens here, inside the worker, so the multiprocess backend
+    reproduces the serial schedule exactly (see the module docstring).
+    """
+    preset_value, scale = context
+    rate, plan_doc = item
+    plan = FaultPlan.from_dict(plan_doc)
+    traces = region_fleet(RegionPreset(preset_value), scale)
+    with chaos(plan, seed=scale.seed) as injector:
+        result = simulate_region(
+            traces, PolicyKind.PROACTIVE, DEFAULT_CONFIG, scale.settings()
+        )
+        kpis = result.kpis()
+        ledger = injector.snapshot()
+    events = ledger["events"]
+    return {
+        "fault_rate": rate,
+        "qos_percent": round(kpis.qos_percent, 3),
+        "idle_percent": round(kpis.idle_percent, 3),
+        "unavailable_percent": round(kpis.unavailable_percent, 3),
+        "logins_total": kpis.logins.total,
+        "logins_reactive": kpis.logins.reactive,
+        "logins_reactive_faulted": kpis.logins.reactive_faulted,
+        "fault_fires": sum(ledger["fires"].values()),
+        "fault_consults": sum(ledger["consults"].values()),
+        "scan_retries": events.get("retry.resume.scan", 0),
+        "breaker_opens": events.get("breaker.predictor.open", 0),
+    }
+
+
+def run_chaos(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    points: Sequence[str] = DEFAULT_POINTS,
+    plan: Optional[FaultPlan] = None,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
+) -> ChaosResult:
+    """Run the chaos sweep.
+
+    With the default arguments this sweeps ``fault_rates`` as uniform
+    plans over ``points``.  An explicit ``plan`` replaces the sweep with a
+    single run of exactly that plan (its row's ``fault_rate`` is the
+    string ``"plan"``).
+    """
+    if plan is not None:
+        items: List[Tuple[object, Dict[str, object]]] = [("plan", plan.to_dict())]
+    else:
+        items = [
+            (rate, FaultPlan.uniform(points, rate).to_dict())
+            for rate in fault_rates
+        ]
+    rows = sweep_map(
+        _chaos_worker, (preset.value, scale), items, executor, workers
+    )
+    return ChaosResult(rows)

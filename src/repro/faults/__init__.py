@@ -1,0 +1,49 @@
+"""Fault injection and resilience for the ProRP control plane.
+
+The paper's infrastructure runs on machinery that fails: resume/pause
+workflows get stuck (Section 7's diagnostics runner exists to mitigate
+exactly that), histories can be lost (Section 5 restores them from
+backups), and any ProRP component can go down (Section 3.2 demands the
+fleet default to reactive until it recovers).  This package makes those
+failure modes first-class and measurable:
+
+* :mod:`repro.faults.plan` -- declarative, JSON-serializable fault plans:
+  named fault points with probability, sim-time schedule, fire caps, and
+  latency payloads.
+* :mod:`repro.faults.injector` -- the deterministic, seed-driven engine
+  consulted by fault points across storage, SQL, cluster, predictor,
+  resume-scan, and workflow code.  Per-point PRNG streams make schedules
+  identical across serial and multiprocess executors.
+* :mod:`repro.faults.runtime` -- the off-by-default process-global switch
+  (``FAULTS``), mirroring the observability switch: disarmed fault points
+  cost one guard check.
+* :mod:`repro.faults.resilience` -- retry with exponential backoff and
+  jitter, deadline guards, and a sim-time circuit breaker.
+
+See ``docs/resilience.md`` for the fault-point catalog and the chaos
+experiment that sweeps fault rate against QoS/COGS.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+from repro.faults.runtime import FAULTS, arm, chaos, disarm
+
+__all__ = [
+    "FAULTS",
+    "arm",
+    "disarm",
+    "chaos",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "BreakerState",
+]

@@ -1,0 +1,122 @@
+"""The central fault injector: deterministic, seed-driven fire decisions.
+
+Each fault point gets its own PRNG stream, seeded from ``(seed, point)``,
+so whether a point fires at its n-th consultation depends only on the
+plan, the seed, and the consultation count of *that point* -- not on
+which other points exist, how often they are consulted, or which process
+evaluated the simulation.  Identical seed + plan therefore reproduces the
+exact same fault schedule across serial and multiprocess runs.
+
+The injector also serves as the run's fault ledger: consultations, fires,
+and resilience events (retries, breaker transitions) are counted here and
+mirrored into the live metrics registry when observability is enabled.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.observability.runtime import OBS
+
+
+class FaultInjector:
+    """Evaluates fault points against a :class:`FaultPlan`.
+
+    Hot paths consult it via :meth:`should_fire` (boolean faults) or
+    :meth:`latency_s` (latency-spike payloads); both are deterministic for
+    a given (plan, seed, consultation sequence).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, seed: int = 0):
+        self._plan = plan if plan is not None else FaultPlan.empty()
+        self._seed = seed
+        self._rngs: Dict[str, random.Random] = {}
+        #: point -> times the point was consulted while present in the plan.
+        self.consults: Dict[str, int] = {}
+        #: point -> times the point actually fired.
+        self.fires: Dict[str, int] = {}
+        #: free-form resilience event counts (retries, breaker opens, ...).
+        self.events: Dict[str, int] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def _rng(self, point: str) -> random.Random:
+        rng = self._rngs.get(point)
+        if rng is None:
+            rng = random.Random(f"{self._seed}:{point}")
+            self._rngs[point] = rng
+        return rng
+
+    # ------------------------------------------------------------------
+    # Fire decisions
+    # ------------------------------------------------------------------
+
+    def should_fire(self, point: str, now: Optional[int] = None) -> bool:
+        """One consultation of ``point`` at sim-time ``now``.
+
+        Returns True when the plan says the fault fires.  Points absent
+        from the plan never fire and consume no randomness, so adding a
+        point to a plan cannot perturb the schedule of the others.
+        """
+        spec = self._plan.get(point)
+        if spec is None:
+            return False
+        self.consults[point] = self.consults.get(point, 0) + 1
+        if not spec.active(now):
+            return False
+        fired = self.fires.get(point, 0)
+        if spec.max_fires is not None and fired >= spec.max_fires:
+            return False
+        if spec.probability <= 0.0:
+            return False
+        if spec.probability < 1.0 and self._rng(point).random() >= spec.probability:
+            return False
+        self.fires[point] = fired + 1
+        if OBS.enabled:
+            OBS.metrics.counter(f"faults.injected.{point}").inc()
+        return True
+
+    def latency_s(self, point: str, now: Optional[int] = None) -> float:
+        """The latency payload of ``point``: its ``latency_s`` when the
+        point fires at this consultation, else 0.0."""
+        if self.should_fire(point, now):
+            spec = self._plan.get(point)
+            return spec.latency_s if spec is not None else 0.0
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Resilience event ledger
+    # ------------------------------------------------------------------
+
+    def note(self, event: str, n: int = 1) -> None:
+        """Count a resilience event (e.g. ``retry.resume.scan``,
+        ``breaker.predictor.open``) against this run's ledger."""
+        self.events[event] = self.events.get(event, 0) + n
+        if OBS.enabled:
+            OBS.metrics.counter(f"faults.{event}").inc(n)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def total_fires(self) -> int:
+        return sum(self.fires.values())
+
+    def total_consults(self) -> int:
+        return sum(self.consults.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A picklable summary: per-point consults/fires plus events."""
+        return {
+            "consults": dict(self.consults),
+            "fires": dict(self.fires),
+            "events": dict(self.events),
+        }

@@ -1,0 +1,65 @@
+"""The process-global fault switch, mirroring ``repro.observability.OBS``.
+
+Instrumented fault points do::
+
+    from repro.faults.runtime import FAULTS
+
+    if FAULTS.enabled and FAULTS.injector.should_fire("sql.execute"):
+        raise SqlExecutionError("injected: transient statement failure")
+
+``FAULTS`` is a singleton whose identity never changes -- modules bind it
+at import time and the disarmed cost is one attribute load plus a falsy
+check, the same discipline (and the same <2% overhead budget, see
+``benchmarks/bench_micro_faults.py``) as the observability switch.
+
+The switch is per process.  Chaos sweep workers arm it per task inside
+the worker function (see ``repro.experiments.chaos``), which is what
+makes fault schedules identical across serial and multiprocess
+executors: each task's injection is self-contained.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+
+class _Runtime:
+    """The mutable singleton behind ``FAULTS``."""
+
+    __slots__ = ("enabled", "injector")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.injector: Optional[FaultInjector] = None
+
+
+FAULTS = _Runtime()
+
+
+def arm(plan: Optional[FaultPlan] = None, seed: int = 0) -> FaultInjector:
+    """Arm fault injection with ``plan``; returns the live injector so the
+    caller can read its ledger after the run."""
+    injector = FaultInjector(plan, seed=seed)
+    FAULTS.injector = injector
+    FAULTS.enabled = True
+    return injector
+
+
+def disarm() -> None:
+    """Back to the zero-overhead default: no faults fire anywhere."""
+    FAULTS.enabled = False
+    FAULTS.injector = None
+
+
+@contextmanager
+def chaos(plan: Optional[FaultPlan] = None, seed: int = 0) -> Iterator[FaultInjector]:
+    """Arm fault injection for one block, restoring the prior state."""
+    previous = (FAULTS.enabled, FAULTS.injector)
+    try:
+        yield arm(plan, seed=seed)
+    finally:
+        FAULTS.enabled, FAULTS.injector = previous

@@ -30,13 +30,21 @@ from repro.core.policy import (
     prediction_expired,
     reactive_wake_time,
 )
-from repro.core.predictor import predict_next_activity
-from repro.errors import SimulationError
+from repro.core.predictor import LATENCY_FAULT_POINT, predict_next_activity
+from repro.errors import FaultInjectedError, SimulationError
+from repro.faults.resilience import CircuitBreaker
+from repro.faults.runtime import FAULTS
 from repro.simulation.engine import EventQueue, Timer
 from repro.simulation.results import DatabaseOutcome
 from repro.storage.history import HistoryStore
 from repro.storage.metadata import DatabaseState, MetadataStore
 from repro.types import ActivityTrace, EventType, PredictedActivity, Session
+
+#: Fault point consulted once per prediction refresh: the predictor backend
+#: raises (store unreachable, procedure timeout).  Repeated fires trip the
+#: predictor circuit breaker, which degrades the policy to reactive mode --
+#: the paper's own fallback for databases without a usable history (S4).
+PREDICTOR_FAULT_POINT = "predictor.exception"
 
 
 class _BaseActor:
@@ -87,6 +95,11 @@ class _BaseActor:
         #: When the customer last went idle (the paper's pauseStart); used
         #: by policy decisions even when maintenance segments the pause.
         self._idle_since: Optional[int] = None
+        #: True while the policy runs reactively because of an injected
+        #: fault (predictor breaker open / failed refresh) rather than by
+        #: its own decision; reactive logins in this state are attributed
+        #: to faults in the KPI layer.
+        self._fault_degraded = False
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -286,7 +299,9 @@ class _BaseActor:
             latency = self._acquire_slot()
             self.lifecycle.apply(LifecycleTransition.REACTIVE_RESUME_START, now)
             self.metadata.set_state(self.database_id, DatabaseState.RESUMING)
-            self.outcome.record_login(now, served=False)
+            self.outcome.record_login(
+                now, served=False, faulted=self._fault_degraded
+            )
             self.outcome.record_workflow(now, "reactive_resume")
             self._resume_started_at = now
             self._deferred_session_end = False
@@ -296,7 +311,9 @@ class _BaseActor:
         elif state is LifecycleState.RESUMING:
             # A new session while the previous reactive resume is still in
             # flight: resources are still unavailable.
-            self.outcome.record_login(now, served=False)
+            self.outcome.record_login(
+                now, served=False, faulted=self._fault_degraded
+            )
             self._resume_started_at = now
             self._deferred_session_end = False
             end = min(self._current_session().end, self.sim_end)
@@ -475,6 +492,7 @@ class ProactiveActor(_BaseActor):
         maintenance: Sequence[Session] = (),
         collect_predictions: bool = False,
         prorp_outages: Sequence = (),
+        breaker: Optional[CircuitBreaker] = None,
     ):
         super().__init__(
             trace,
@@ -492,6 +510,10 @@ class ProactiveActor(_BaseActor):
         self._measure_latency = measure_prediction_latency
         self._collect_predictions = collect_predictions
         self._prorp_outages = tuple(prorp_outages)
+        #: Shared predictor circuit breaker (one per region under chaos):
+        #: while open, every refresh degrades to reactive without touching
+        #: the predictor at all.
+        self._breaker = breaker
         self.next_activity = PredictedActivity.none()
         self.old = False
 
@@ -527,18 +549,62 @@ class ProactiveActor(_BaseActor):
             self.old = False
             self.next_activity = PredictedActivity.none()
             return
+        if self._breaker is not None and not self._breaker.allow(now):
+            # Predictor breaker open after repeated failures: same reactive
+            # fallback as above, without even touching the predictor, until
+            # the recovery window half-opens the circuit.
+            self.old = False
+            self.next_activity = PredictedActivity.none()
+            self._fault_degraded = True
+            return
         self.old = self.history.delete_old_history(
             self.config.history_days, now
         ).old
         if not self.old:
             # A new database has no reliable prediction (Section 4).
             self.next_activity = PredictedActivity.none()
+            self._fault_degraded = False
             return
+        try:
+            self._predict(now)
+        except FaultInjectedError:
+            if self._breaker is not None:
+                self._breaker.record_failure(now)
+            # This refresh degrades to reactive; the breaker decides
+            # whether the next one even tries.
+            self.old = False
+            self.next_activity = PredictedActivity.none()
+            self._fault_degraded = True
+            return
+        if self._breaker is not None:
+            self._breaker.record_success(now)
+        self._fault_degraded = False
+        if self._collect_predictions:
+            self.outcome.record_prediction(
+                now,
+                self.next_activity.start,
+                self.next_activity.end,
+                self.next_activity.confidence,
+            )
+
+    def _predict(self, now: int) -> None:
+        """One predictor call through the configured backend; raises
+        :class:`FaultInjectedError` when the ``predictor.exception`` fault
+        fires instead of predicting."""
+        if FAULTS.enabled and FAULTS.injector.should_fire(
+            PREDICTOR_FAULT_POINT, now
+        ):
+            raise FaultInjectedError(
+                PREDICTOR_FAULT_POINT, "injected: predictor backend failure"
+            )
         config = self._prediction_config(now)
         if self._measure_latency:
             started = _time.perf_counter()
             self.next_activity = predict_next_activity(self.history, config, now)
-            self.outcome.record_prediction_latency(_time.perf_counter() - started)
+            elapsed = _time.perf_counter() - started
+            if FAULTS.enabled:
+                elapsed += FAULTS.injector.latency_s(LATENCY_FAULT_POINT, now)
+            self.outcome.record_prediction_latency(elapsed)
         elif self._fast_predictor is not None:
             if config is self.config:
                 predictor = self._fast_predictor
@@ -551,13 +617,6 @@ class ProactiveActor(_BaseActor):
             )
         else:
             self.next_activity = predict_next_activity(self.history, config, now)
-        if self._collect_predictions:
-            self.outcome.record_prediction(
-                now,
-                self.next_activity.start,
-                self.next_activity.end,
-                self.next_activity.confidence,
-            )
 
     # ------------------------------------------------------------------
     # Algorithm 1

@@ -26,6 +26,8 @@ from repro.core.kpi import KpiReport
 from repro.core.policy import PolicyKind
 from repro.core.resume_service import IterationRecord, ProactiveResumeOperation
 from repro.errors import SimulationError
+from repro.faults.resilience import CircuitBreaker
+from repro.faults.runtime import FAULTS
 from repro.observability.metrics import SIZE_BUCKETS
 from repro.observability.runtime import OBS
 from repro.simulation.actor import ProactiveActor, ReactiveActor, _BaseActor
@@ -227,6 +229,15 @@ def _simulate_region(
         and not settings.measure_prediction_latency
         else None
     )
+    # One predictor circuit breaker per region (the predictor is a shared
+    # component): repeated injected failures open it, degrading the whole
+    # fleet to reactive mode until the recovery window passes.  Built only
+    # under an armed injector so un-chaosed runs carry zero extra state.
+    breaker = (
+        CircuitBreaker(failure_threshold=5, recovery_s=900, name="predictor")
+        if FAULTS.enabled and policy is PolicyKind.PROACTIVE
+        else None
+    )
 
     for trace in traces:
         outcome = DatabaseOutcome(
@@ -262,6 +273,7 @@ def _simulate_region(
                 maintenance=maintenance,
                 collect_predictions=settings.collect_predictions,
                 prorp_outages=settings.prorp_outages,
+                breaker=breaker,
             )
         else:
             actor = ReactiveActor(

@@ -40,6 +40,8 @@ class DatabaseOutcome:
 
     logins_with_resources: int = 0
     logins_reactive: int = 0
+    #: Reactive logins attributable to faults/degraded-mode operation.
+    logins_reactive_faulted: int = 0
 
     proactive_resume_times: List[int] = field(default_factory=list)
     reactive_resume_times: List[int] = field(default_factory=list)
@@ -97,13 +99,18 @@ class DatabaseOutcome:
     def _in_window(self, t: int) -> bool:
         return self.eval_start <= t < self.eval_end
 
-    def record_login(self, t: int, served: bool) -> None:
+    def record_login(self, t: int, served: bool, faulted: bool = False) -> None:
+        """``faulted`` marks a reactive login caused by fault-degraded
+        operation (predictor breaker open, scan outage) rather than by the
+        policy's own reclamation decision."""
         if not self._in_window(t):
             return
         if served:
             self.logins_with_resources += 1
         else:
             self.logins_reactive += 1
+            if faulted:
+                self.logins_reactive_faulted += 1
 
     def record_workflow(self, t: int, kind: str) -> None:
         if not self._in_window(t):
@@ -169,6 +176,7 @@ def aggregate(
     logins = LoginStats(
         with_resources=sum(o.logins_with_resources for o in outcomes),
         reactive=sum(o.logins_reactive for o in outcomes),
+        reactive_faulted=sum(o.logins_reactive_faulted for o in outcomes),
     )
     idle = IdleBreakdown(
         logical_pause_s=sum(o.logical_pause_idle_s for o in outcomes),

@@ -10,11 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.errors import SqlExecutionError
+from repro.faults.runtime import FAULTS
 from repro.observability.runtime import OBS
 from repro.sqlengine import ast
 from repro.sqlengine.executor import Executor, Row
 from repro.sqlengine.parser import parse
 from repro.storage.database import Database
+
+#: Fault point consulted once per executed statement: a transient engine
+#: failure (deadlock victim, connection reset) surfaced as
+#: :class:`SqlExecutionError` so callers exercise their retry paths.
+EXECUTE_FAULT_POINT = "sql.execute"
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,10 @@ class SqlEngine:
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> StatementResult:
         """Parse, plan, and execute one statement with ``@param`` bindings."""
         statement = self.prepare(sql)
+        if FAULTS.enabled and FAULTS.injector.should_fire(EXECUTE_FAULT_POINT):
+            raise SqlExecutionError(
+                "injected: transient failure executing statement"
+            )
         if OBS.enabled:
             kind = type(statement).__name__.lower()
             OBS.metrics.counter(f"sql.executed.{kind}").inc()

@@ -11,7 +11,19 @@ Two requirements from the paper:
   those mechanisms.
 
 Snapshots are plain JSON so they survive process restarts and can be
-inspected; a CRC-style checksum detects corruption on restore.
+inspected.  Two CRC-style checksums detect corruption: the event checksum
+travels with the in-memory snapshot and is verified on every restore; the
+file checksum covers the *entire* persisted document (version, database
+id, and events), so any single-byte corruption of a snapshot file --
+including fields the event checksum does not cover -- fails the read.
+
+Fault points (consulted only while ``repro.faults`` is armed):
+
+* ``storage.snapshot.corrupt`` -- the save path corrupts the persisted
+  payload (a bit flip on the backup medium); the checksum must catch it
+  on read.
+* ``storage.snapshot.restore`` -- the restore path is unavailable (the
+  backup store is down) and raises :class:`StorageError`.
 """
 
 from __future__ import annotations
@@ -23,11 +35,19 @@ from pathlib import Path
 from typing import List, Tuple
 
 from repro.errors import StorageError
+from repro.faults.runtime import FAULTS
 from repro.storage.history import HistoryStore
 from repro.types import EventType, HistoryEvent
 
-#: Snapshot format version, bumped on layout changes.
-SNAPSHOT_VERSION = 1
+#: Snapshot format version, bumped on layout changes (2: file checksum
+#: covering the whole document).
+SNAPSHOT_VERSION = 2
+
+#: Fault point: the save path corrupts the persisted document.
+CORRUPT_FAULT_POINT = "storage.snapshot.corrupt"
+
+#: Fault point: the restore path (backup store) is unavailable.
+RESTORE_FAULT_POINT = "storage.snapshot.restore"
 
 
 @dataclass(frozen=True)
@@ -66,6 +86,11 @@ def restore_history(snapshot: HistorySnapshot) -> HistoryStore:
     Restores are how history follows a database across node moves and how
     data loss is repaired from backups.
     """
+    if FAULTS.enabled and FAULTS.injector.should_fire(RESTORE_FAULT_POINT):
+        raise StorageError(
+            f"injected: backup store unavailable restoring "
+            f"{snapshot.database_id!r}"
+        )
     raw = [(e.time_snapshot, int(e.event_type)) for e in snapshot.events]
     if _checksum(raw) != snapshot.checksum:
         raise StorageError(
@@ -87,8 +112,15 @@ def restore_history(snapshot: HistorySnapshot) -> HistoryStore:
 # ---------------------------------------------------------------------------
 
 
+def _document_payload(document: dict) -> bytes:
+    """The canonical serialization the file checksum covers: everything
+    except the ``file_checksum`` field itself, in sorted-key order."""
+    body = {k: v for k, v in document.items() if k != "file_checksum"}
+    return json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
 def write_snapshot(snapshot: HistorySnapshot, path: Path) -> None:
-    """Persist a snapshot as JSON."""
+    """Persist a snapshot as JSON with a whole-document checksum."""
     document = {
         "version": snapshot.version,
         "database_id": snapshot.database_id,
@@ -97,24 +129,53 @@ def write_snapshot(snapshot: HistorySnapshot, path: Path) -> None:
             [e.time_snapshot, int(e.event_type)] for e in snapshot.events
         ],
     }
+    document["file_checksum"] = zlib.crc32(_document_payload(document))
+    if FAULTS.enabled and FAULTS.injector.should_fire(CORRUPT_FAULT_POINT):
+        # Bit rot on the backup medium: corrupt the payload *after* the
+        # checksum was computed so the read path must catch it.
+        if document["events"]:
+            document["events"][-1][0] += 1
+        else:
+            document["checksum"] += 1
     Path(path).write_text(json.dumps(document), encoding="utf-8")
 
 
 def read_snapshot(path: Path) -> HistorySnapshot:
-    """Load a snapshot written by :func:`write_snapshot`."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Load a snapshot written by :func:`write_snapshot`.
+
+    Any corruption of the persisted file -- unparsable JSON, a missing
+    field, or a payload that fails the whole-document checksum -- raises
+    :class:`StorageError` rather than yielding a silently wrong snapshot.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StorageError(f"snapshot file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise StorageError(f"snapshot file {path} does not hold an object")
     if document.get("version") != SNAPSHOT_VERSION:
         raise StorageError(
             f"unsupported snapshot version {document.get('version')!r}"
         )
-    events = tuple(
-        HistoryEvent(t, EventType(e)) for t, e in document["events"]
-    )
-    return HistorySnapshot(
-        database_id=document["database_id"],
-        events=events,
-        checksum=document["checksum"],
-    )
+    try:
+        stored_file_checksum = document["file_checksum"]
+        if zlib.crc32(_document_payload(document)) != stored_file_checksum:
+            raise StorageError(
+                f"snapshot file {path} fails its file checksum: "
+                "refusing to load a corrupt backup"
+            )
+        events = tuple(
+            HistoryEvent(t, EventType(e)) for t, e in document["events"]
+        )
+        return HistorySnapshot(
+            database_id=document["database_id"],
+            events=events,
+            checksum=document["checksum"],
+        )
+    except StorageError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"snapshot file {path} is malformed: {exc}") from exc
 
 
 def move_history(

@@ -133,3 +133,55 @@ class TestDurability:
         _, restored = move_history(store, "fuzz")
         assert restored.all_events() == store.all_events()
         assert list(restored.login_timestamps()) == list(store.login_timestamps())
+
+
+class TestSingleByteCorruption:
+    """The whole-document file checksum (snapshot format v2) must catch
+    every single-byte corruption of a persisted snapshot: flip any byte,
+    and the read either fails with StorageError or -- for flips that do
+    not survive JSON canonicalization, e.g. whitespace-to-whitespace --
+    parses back to exactly the original snapshot."""
+
+    def _written(self, tmp_path):
+        snapshot = snapshot_history(sample_store(), "db-1")
+        path = tmp_path / "backup.json"
+        write_snapshot(snapshot, path)
+        return snapshot, path, path.read_bytes()
+
+    def test_every_position_low_bit_flip_caught(self, tmp_path):
+        snapshot, path, raw = self._written(tmp_path)
+        undetected = []
+        for i in range(len(raw)):
+            corrupt = bytearray(raw)
+            corrupt[i] ^= 0x01
+            path.write_bytes(bytes(corrupt))
+            try:
+                loaded = read_snapshot(path)
+            except StorageError:
+                continue
+            if loaded != snapshot:
+                undetected.append(i)
+        assert undetected == [], (
+            f"byte flips at {undetected} yielded a wrong snapshot "
+            "without a StorageError"
+        )
+
+    def test_sampled_byte_and_mask_flips_caught(self, tmp_path):
+        import random
+
+        snapshot, path, raw = self._written(tmp_path)
+        rng = random.Random(20240806)
+        samples = [
+            (rng.randrange(len(raw)), rng.randrange(1, 256)) for _ in range(300)
+        ]
+        for position, mask in samples:
+            corrupt = bytearray(raw)
+            corrupt[position] ^= mask
+            path.write_bytes(bytes(corrupt))
+            try:
+                loaded = read_snapshot(path)
+            except StorageError:
+                continue
+            assert loaded == snapshot, (
+                f"flip at byte {position} with mask {mask:#x} went undetected"
+            )

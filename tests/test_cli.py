@@ -80,6 +80,56 @@ class TestCommands:
         assert code == 0
         assert "selected: window" in out
 
+    def test_chaos_sweep_with_monotonic_check(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--databases", "60",
+                "--eval-days", "1",
+                "--fault-rates", "0.0", "0.3",
+                "--check-monotonic",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault rate" in out
+        assert "OK: QoS non-increasing" in out
+
+    def test_chaos_plan_file(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan.uniform(
+            ["predictor.exception", "sql.execute"], probability=0.05
+        ).save(plan_path)
+        code = main(
+            [
+                "chaos",
+                "--databases", "40",
+                "--eval-days", "1",
+                "--plan", str(plan_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan" in out
+
+    def test_chaos_plan_rejects_monotonic_check(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan.empty().save(plan_path)
+        code = main(
+            [
+                "chaos",
+                "--databases", "40",
+                "--eval-days", "1",
+                "--plan", str(plan_path),
+                "--check-monotonic",
+            ]
+        )
+        assert code == 2
+
 
 def test_digest_command(capsys):
     code = main(["digest", "--databases", "40", "--eval-days", "1"])

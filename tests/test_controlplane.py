@@ -142,3 +142,57 @@ class TestDiagnosticsRunner:
         engine.tick(0)
         runner.run_once(0)
         assert any("queue depth" in i.reason for i in runner.incidents)
+
+
+class TestFailedWorkflowPath:
+    """A workflow that exhausts its mitigation retries is terminal: failed
+    exactly once, one incident, and never re-queued by the runner."""
+
+    def _always_stuck_engine(self):
+        from repro.controlplane.workflows import STUCK_POINT
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        injector = FaultInjector(FaultPlan.of(FaultSpec(STUCK_POINT)))
+        return WorkflowEngine(default_duration_s=30, injector=injector)
+
+    def test_exhausted_retries_are_terminal_and_counted_once(self):
+        engine = self._always_stuck_engine()
+        runner = DiagnosticsRunner(engine, stuck_after_s=30, max_retries=2)
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db-x", now=0)
+        now = 0
+        while not engine.drained():
+            assert now <= 10_000, "the runner must give up eventually"
+            engine.tick(now)
+            runner.run_once(now)
+            now += 30
+        assert workflow.state is WorkflowState.FAILED
+        assert workflow.terminal
+        assert workflow.finished_at is not None
+        assert workflow.retries == 2
+        assert runner.mitigations == 2
+        # Exactly one incident for the one abandoned workflow.
+        incidents = [
+            i for i in runner.incidents if i.workflow_id == workflow.workflow_id
+        ]
+        assert len(incidents) == 1
+        assert incidents[0].database_id == "db-x"
+
+    def test_failed_workflow_never_requeued(self):
+        engine = self._always_stuck_engine()
+        runner = DiagnosticsRunner(engine, stuck_after_s=30, max_retries=0)
+        workflow = engine.submit(WorkflowKind.PHYSICAL_PAUSE, "db-x", now=0)
+        engine.tick(0)
+        assert workflow.state is WorkflowState.STUCK
+        runner.run_once(30)  # zero retries allowed: fail immediately
+        assert workflow.state is WorkflowState.FAILED
+        incidents_after_fail = len(runner.incidents)
+        # Further monitoring passes and ticks leave it failed and queued
+        # nowhere: the engine stays drained and no new incidents appear.
+        for now in range(60, 400, 30):
+            engine.tick(now)
+            runner.run_once(now)
+        assert workflow.state is WorkflowState.FAILED
+        assert engine.pending_count == 0
+        assert engine.running_count == 0
+        assert engine.drained()
+        assert len(runner.incidents) == incidents_after_fail
