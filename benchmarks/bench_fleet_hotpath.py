@@ -1,0 +1,225 @@
+"""Headline benchmark for the two-level prediction hot path.
+
+Two comparisons, both on a region fleet (>= 200 databases at full scale):
+
+* **Batched fleet prediction**: D per-database :meth:`FastPredictor.
+  predict` calls vs one :meth:`FastPredictor.predict_fleet` call over the
+  same login arrays.  The batch must run >= 3x fewer full Algorithm-4
+  scans (it pays one grid evaluation instead of D) and, at full scale,
+  win on wall clock; the answers must be identical.
+* **End-to-end simulation**: the same region simulated with the
+  prediction cache + settle-phase batching on and off.  The cached run
+  must enter the predictor fewer times and produce byte-identical KPIs.
+
+The resulting baseline is committed at the repo root as
+``BENCH_fleet_hotpath.json`` (regenerate with the full run below); CI
+runs the ``--quick`` variant and uploads its JSON as an artifact.
+
+Run directly for a human-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_hotpath.py          # full
+    PYTHONPATH=src python benchmarks/bench_fleet_hotpath.py --quick  # CI
+
+or through pytest (quick scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_hotpath.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.fast_predictor import FastPredictor
+from repro.core.prediction_cache import HOT_PATH
+from repro.simulation.region import SimulationSettings, simulate_region
+from repro.types import SECONDS_PER_DAY, ActivityTrace
+from repro.workload.regions import RegionPreset, generate_region_traces
+
+DAY = SECONDS_PER_DAY
+
+#: Where the committed baseline lives (repo root, next to README.md).
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet_hotpath.json"
+
+FULL_DATABASES = 250
+QUICK_DATABASES = 60
+SPAN_DAYS = 31
+NOW = 29 * DAY
+
+
+def _fleet(n_databases: int) -> List[ActivityTrace]:
+    return generate_region_traces(
+        RegionPreset.EU1, n_databases, span_days=SPAN_DAYS, seed=0
+    )
+
+
+def _login_arrays(traces: List[ActivityTrace], now: int) -> List[np.ndarray]:
+    """Per-database sorted login timestamps within the retention window,
+    as the history store would hold them at ``now``."""
+    start = now - DEFAULT_CONFIG.history_days * DAY
+    return [
+        np.array(
+            [s.start for s in trace.sessions if start <= s.start < now],
+            dtype=np.int64,
+        )
+        for trace in traces
+    ]
+
+
+def _min_of(reps: int, fn) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(quick: bool = False) -> dict:
+    n_databases = QUICK_DATABASES if quick else FULL_DATABASES
+    reps = 2 if quick else 5
+    traces = _fleet(n_databases)
+
+    # -- one fleet sweep: D predict() calls vs one predict_fleet() -------
+    predictor = FastPredictor(DEFAULT_CONFIG)
+    fleets = _login_arrays(traces, NOW)
+    singles = [predictor.predict(logins, NOW) for logins in fleets]  # warm
+    batched = predictor.predict_fleet(fleets, NOW)
+    assert batched == singles, "predict_fleet diverged from per-database predict"
+
+    HOT_PATH.reset()
+    for logins in fleets:
+        predictor.predict(logins, NOW)
+    loop_invocations = HOT_PATH.predictor_invocations
+    HOT_PATH.reset()
+    predictor.predict_fleet(fleets, NOW)
+    batch_invocations = HOT_PATH.predictor_invocations
+
+    loop_s = _min_of(reps, lambda: [predictor.predict(a, NOW) for a in fleets])
+    batch_s = _min_of(reps, lambda: predictor.predict_fleet(fleets, NOW))
+
+    # -- end-to-end simulation: prediction cache on vs off ---------------
+    # Evaluate the final day: the 1-day warm-up puts sim_start at day 30,
+    # leaving >28 days of lifespan so the fleet is "old" (predictable)
+    # and the settle-phase batching has databases to seed.
+    settings_off = SimulationSettings(
+        eval_start=30 * DAY, eval_end=31 * DAY, use_prediction_cache=False
+    )
+    settings_on = SimulationSettings(
+        eval_start=30 * DAY, eval_end=31 * DAY, use_prediction_cache=True
+    )
+    simulate_region(traces, "proactive", DEFAULT_CONFIG, settings_on)  # warm
+
+    HOT_PATH.reset()
+    start = time.perf_counter()
+    off = simulate_region(traces, "proactive", DEFAULT_CONFIG, settings_off)
+    sim_off_s = time.perf_counter() - start
+    sim_off_invocations = HOT_PATH.predictor_invocations
+
+    HOT_PATH.reset()
+    start = time.perf_counter()
+    on = simulate_region(traces, "proactive", DEFAULT_CONFIG, settings_on)
+    sim_on_s = time.perf_counter() - start
+    sim_on_invocations = HOT_PATH.predictor_invocations
+    cache_stats = HOT_PATH.snapshot()
+
+    assert on.kpis().to_dict() == off.kpis().to_dict(), (
+        "cached simulation diverged from the uncached reference"
+    )
+
+    return {
+        "quick": quick,
+        "n_databases": n_databases,
+        "fleet_sweep": {
+            "loop_full_scans": loop_invocations,
+            "batch_invocations": batch_invocations,
+            "scan_reduction": round(loop_invocations / batch_invocations, 1),
+            "loop_s": round(loop_s, 4),
+            "batch_s": round(batch_s, 4),
+            "speedup": round(loop_s / batch_s, 2) if batch_s > 0 else 0.0,
+        },
+        "simulation": {
+            "uncached_invocations": sim_off_invocations,
+            "cached_invocations": sim_on_invocations,
+            "uncached_s": round(sim_off_s, 3),
+            "cached_s": round(sim_on_s, 3),
+            "cache_hits": cache_stats["cache_hits"],
+            "cache_invalidations": cache_stats["cache_invalidations"],
+            "batch_evals": cache_stats["batch_evals"],
+            "batch_databases": cache_stats["batch_databases"],
+            "kpis_identical": True,
+        },
+    }
+
+
+def _check(result: dict) -> None:
+    sweep = result["fleet_sweep"]
+    sim = result["simulation"]
+    assert sweep["scan_reduction"] >= 3.0, (
+        f"expected >= 3x fewer full scans from batching, got "
+        f"{sweep['scan_reduction']}x"
+    )
+    assert sim["cached_invocations"] < sim["uncached_invocations"], (
+        f"the cache did not reduce predictor invocations "
+        f"({sim['cached_invocations']} vs {sim['uncached_invocations']})"
+    )
+    assert sim["cache_hits"] > 0 and sim["batch_evals"] >= 1
+    if not result["quick"]:
+        # Wall-clock is asserted at full scale only; the quick CI variant
+        # sticks to the deterministic invocation counts.
+        assert sweep["batch_s"] < sweep["loop_s"], (
+            f"batched prediction lost on wall clock: "
+            f"{sweep['batch_s']}s vs {sweep['loop_s']}s"
+        )
+
+
+def _report(result: dict) -> str:
+    sweep = result["fleet_sweep"]
+    sim = result["simulation"]
+    return "\n".join(
+        [
+            f"Fleet prediction hot path, {result['n_databases']} databases"
+            + (" (quick)" if result["quick"] else ""),
+            f"  sweep: {sweep['loop_full_scans']} per-DB scans -> "
+            f"{sweep['batch_invocations']} batched invocation(s) "
+            f"({sweep['scan_reduction']}x fewer)",
+            f"  sweep wall: loop {sweep['loop_s']}s vs batch {sweep['batch_s']}s "
+            f"({sweep['speedup']}x)",
+            f"  simulation invocations: {sim['uncached_invocations']} uncached -> "
+            f"{sim['cached_invocations']} cached "
+            f"({sim['cache_hits']} hits, {sim['cache_invalidations']} invalidations)",
+            f"  simulation wall: {sim['uncached_s']}s uncached vs "
+            f"{sim['cached_s']}s cached",
+            f"  KPIs identical: {sim['kpis_identical']}",
+        ]
+    )
+
+
+def bench_fleet_hotpath(record_table) -> None:
+    """Pytest entry: quick scale, deterministic assertions only."""
+    result = run_bench(quick=True)
+    record_table("fleet_hotpath", _report(result))
+    _check(result)
+
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    result = run_bench(quick=quick)
+    print(_report(result))
+    BASELINE_PATH.write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {BASELINE_PATH}")
+    _check(result)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

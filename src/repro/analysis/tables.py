@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
-    title: str = None,
+    title: Optional[str] = None,
 ) -> str:
     """Render an aligned ASCII table (the benches print these so the rows
     match the rows/series the paper reports)."""

@@ -7,18 +7,38 @@ Semantically identical to :func:`repro.core.predictor.predict_next_activity`
 of p/s * h B-tree range scans.  Fleet-scale simulations run this version;
 the overhead experiment (Figure 10(c)) times the reference version, which
 matches the paper's in-engine stored procedure.
+
+:meth:`FastPredictor.predict_fleet` goes one step further for fleet-wide
+sweeps (the region's settle-phase seeding, the hot-path benchmark): it
+concatenates every candidate database's sorted login array into one
+buffer + offsets and evaluates the whole (database x window x period)
+grid with a **single** pair of ``numpy.searchsorted`` calls.  The search
+is inverted relative to the single-database path: rather than searching
+D x W x P window boundaries in the (large) concatenated login array, it
+searches the concatenated logins in the W x P sorted grid of window
+boundaries -- the grid is a few thousand elements and stays cache-
+resident, so the pair of searches costs O(N log WP) with tiny constants.
+A per-database +1/-1 scatter and one running sum turn the entry/exit
+positions into the exact per-lane coverage bitmap ("any login in this
+window?") the probabilities need; the ``left``/``right`` cursors of the
+direct formulation are then materialised only for the handful of lanes
+the selection walk actually visits.  Per-database tie-breaking reuses
+the exact selection loop of the single-database path, so results are
+byte-identical to D independent :meth:`FastPredictor.predict` calls
+(the equivalence suite proves it).
 """
 
 from __future__ import annotations
 
 import time as _time
 from functools import lru_cache
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import ProRPConfig
-from repro.observability.metrics import LATENCY_BUCKETS_MS
+from repro.core.prediction_cache import HOT_PATH
+from repro.observability.metrics import LATENCY_BUCKETS_MS, SIZE_BUCKETS
 from repro.observability.runtime import OBS
 from repro.types import PredictedActivity
 
@@ -39,6 +59,14 @@ class FastPredictor:
         period_shifts = np.arange(1, periods + 1, dtype=np.int64) * period
         # Grid of past-window starts relative to `now`: shape (W, P).
         self._past_start_offsets = window_offsets[:, None] - period_shifts[None, :]
+        # The fleet path searches logins in the sorted grid; the ordering
+        # of the offsets is independent of `now`, so sort once.  `_grid_
+        # rank[i]` is the sorted position of flattened lane i.
+        flat_offsets = self._past_start_offsets.ravel()
+        order = np.argsort(flat_offsets, kind="stable")
+        self._grid_sorted_offsets = flat_offsets[order]
+        self._grid_rank = np.empty_like(order)
+        self._grid_rank[order] = np.arange(order.size)
 
     def predict(self, logins: Sequence[int], now: int) -> PredictedActivity:
         """Run the prediction against a sorted array of login timestamps."""
@@ -61,6 +89,7 @@ class FastPredictor:
         logins_arr = np.asarray(logins, dtype=np.int64)
         if logins_arr.size == 0:
             return PredictedActivity.none()
+        HOT_PATH.full_scans += 1
         past_starts = now + self._past_start_offsets  # (W, P)
         flat_starts = past_starts.ravel()
         left = np.searchsorted(logins_arr, flat_starts, side="left")
@@ -87,8 +116,18 @@ class FastPredictor:
         ).reshape(past_starts.shape)
         first_per_window = first_offsets.min(axis=1)
         last_per_window = last_offsets.max(axis=1)
+        return self._select(now, probabilities, first_per_window, last_per_window)
 
-        # Selection with the same tie-breaking as the reference scan.
+    def _select(
+        self,
+        now: int,
+        probabilities: np.ndarray,
+        first_per_window: np.ndarray,
+        last_per_window: np.ndarray,
+    ) -> PredictedActivity:
+        """Window selection with the same tie-breaking as the reference
+        scan; shared by the single-database and fleet paths."""
+        config = self.config
         best: Optional[PredictedActivity] = None
         previous_probability = 0.0
         for w in range(self._n_windows):
@@ -106,6 +145,199 @@ class FastPredictor:
             elif best is not None:
                 break
         return best if best is not None else PredictedActivity.none()
+
+    # ------------------------------------------------------------------
+    # Batched fleet prediction
+    # ------------------------------------------------------------------
+
+    def predict_fleet(
+        self, fleet_logins: Sequence[Sequence[int]], now: int
+    ) -> List[PredictedActivity]:
+        """Predict every database of a fleet at one instant in one pass.
+
+        ``fleet_logins`` holds each candidate database's sorted login
+        timestamps.  Returns one :class:`PredictedActivity` per entry,
+        byte-identical to calling :meth:`predict` per database, but the
+        whole (database x window x period) grid is answered by a single
+        pair of ``searchsorted`` calls over one concatenated array.
+        """
+        if not OBS.enabled:
+            return self._predict_fleet(fleet_logins, now)
+        started = _time.perf_counter()
+        with OBS.tracer.span("predictor.batch", t=now, size=len(fleet_logins)):
+            predictions = self._predict_fleet(fleet_logins, now)
+        elapsed_ms = (_time.perf_counter() - started) * 1000.0
+        OBS.metrics.histogram(
+            "predictor.batch.latency_ms", buckets=LATENCY_BUCKETS_MS
+        ).observe(elapsed_ms)
+        OBS.metrics.histogram(
+            "predictor.batch.size", buckets=SIZE_BUCKETS
+        ).observe(len(fleet_logins))
+        return predictions
+
+    def _predict_fleet(
+        self, fleet_logins: Sequence[Sequence[int]], now: int
+    ) -> List[PredictedActivity]:
+        config = self.config
+        results: List[Optional[PredictedActivity]] = [None] * len(fleet_logins)
+        arrays: List[np.ndarray] = []
+        members: List[int] = []  # original index of each non-empty database
+        for i, logins in enumerate(fleet_logins):
+            arr = np.asarray(logins, dtype=np.int64)
+            if arr.size == 0 or self._n_windows == 0:
+                results[i] = PredictedActivity.none()
+            else:
+                arrays.append(arr)
+                members.append(i)
+        HOT_PATH.batch_evals += 1
+        HOT_PATH.batch_databases += len(fleet_logins)
+        if not arrays:
+            return results  # type: ignore[return-value]
+        d = len(arrays)
+        n_lanes = self._n_windows * self._periods  # G: grid lanes per db
+        sizes = np.array([a.size for a in arrays], dtype=np.int64)
+        offsets = np.zeros(d + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        concat = np.concatenate(arrays)
+        sorted_grid = now + self._grid_sorted_offsets  # (G,) ascending
+
+        # Inverted range query: the direct path computes, per grid lane q,
+        #   left(q)  = #logins <  q           (searchsorted side="left")
+        #   right(q) = #logins <= q + window  (searchsorted side="right")
+        # and only ever consumes right - left > 0 ("any login in
+        # [q, q + window]") for the probabilities.  A login t covers
+        # exactly the sorted grid positions in [searchsorted(grid,
+        # t - window, "left"), searchsorted(grid, t, "right")), so a
+        # per-database +1/-1 scatter at those entry/exit positions plus
+        # one running sum yields the coverage count of every lane -- one
+        # search per login instead of one per lane, with the tiny sorted
+        # grid as the haystack.
+        cover_lo = np.searchsorted(
+            sorted_grid, concat - config.window_s, side="left"
+        )
+        cover_hi = np.searchsorted(sorted_grid, concat, side="right")
+        db_base = np.repeat(np.arange(d, dtype=np.int64) * (n_lanes + 1), sizes)
+        coverage = np.bincount(
+            db_base + cover_lo, minlength=d * (n_lanes + 1)
+        ) - np.bincount(db_base + cover_hi, minlength=d * (n_lanes + 1))
+        coverage = coverage.reshape(d, n_lanes + 1)
+        np.cumsum(coverage, axis=1, out=coverage)
+        # Back to the flattened (window, period) lane order as a boolean
+        # bitmap (the permute moves one byte per lane, not an int64
+        # cursor); the overflow column is dropped by the permutation.
+        has_lane = (coverage > 0)[:, self._grid_rank]
+
+        grid_shape = (d, self._n_windows, self._periods)
+        has_activity = has_lane.reshape(grid_shape)
+        counts = has_activity.sum(axis=2)  # (D, W)
+        probabilities = counts / self._periods
+
+        # The selection loop reads first/last offsets only for the short
+        # run of windows it actually visits (first qualifying window,
+        # then while the probability strictly improves) -- the run is
+        # computable from the probabilities alone, so walk it first and
+        # gather first/last values for just those (database, window)
+        # lanes instead of all D x W x P.
+        prob_rows = probabilities.tolist()
+        qualifies = probabilities >= config.confidence
+        any_qualifies = qualifies.any(axis=1)
+        first_window = np.argmax(qualifies, axis=1)  # valid where any_qualifies
+        need_rows: List[int] = []
+        need_windows: List[int] = []
+        for row in range(d):
+            if not any_qualifies[row]:
+                continue
+            probs = prob_rows[row]
+            selecting = False
+            previous_probability = 0.0
+            # Windows before the first qualifying one are no-ops in the
+            # selection loop; start the walk there.
+            for w in range(int(first_window[row]), self._n_windows):
+                probability = probs[w]
+                if probability >= config.confidence and (
+                    not selecting or probability > previous_probability
+                ):
+                    need_rows.append(row)
+                    need_windows.append(w)
+                    selecting = True
+                    previous_probability = probability
+                elif selecting:
+                    break
+
+        first_values: np.ndarray
+        last_values: np.ndarray
+        if need_rows:
+            rows_arr = np.asarray(need_rows, dtype=np.int64)
+            wins_arr = np.asarray(need_windows, dtype=np.int64)
+            flat_grid = now + self._past_start_offsets.ravel()  # (G,)
+            lanes = wins_arr[:, None] * self._periods + np.arange(
+                self._periods, dtype=np.int64
+            )  # (K, P)
+            has_sel = has_lane[rows_arr[:, None], lanes]
+            # The exact left/right cursors of the direct formulation, but
+            # only for the K x P visited lanes: shift each database's
+            # logins (and each visited lane's queries) into a disjoint
+            # segment of the int64 line, so one searchsorted over the
+            # concatenated array answers every per-database search.  The
+            # shift must exceed any |query - login| delta; window starts
+            # reach back periods * period seconds and logins span the
+            # retention window, both far below 2**41.
+            seg_shift = np.repeat(
+                np.arange(d, dtype=np.int64) << 41, sizes
+            )
+            shifted = concat + seg_shift
+            queries = flat_grid[lanes] + (rows_arr << 41)[:, None]
+            seg = offsets[rows_arr][:, None]
+            left_sel = np.searchsorted(shifted, queries, side="left") - seg
+            right_sel = (
+                np.searchsorted(
+                    shifted, queries + config.window_s, side="right"
+                )
+                - seg
+            )
+            # Same clamping as the single path; clamped lanes are masked
+            # by has_sel so only the window_s / 0 fill constants survive.
+            first_idx = np.minimum(left_sel, (sizes[rows_arr] - 1)[:, None]) + seg
+            first_values = np.where(
+                has_sel, concat[first_idx] - flat_grid[lanes], config.window_s
+            ).min(axis=1)
+            last_idx = np.maximum(right_sel - 1, 0) + seg
+            last_values = np.where(
+                has_sel, concat[last_idx] - flat_grid[lanes], 0
+            ).max(axis=1)
+        else:
+            first_values = last_values = np.empty(0, dtype=np.int64)
+
+        # Replay the selection walk, consuming the gathered values in the
+        # same order they were requested -- identical tie-breaking to
+        # :meth:`_select` on the full per-window arrays.
+        cursor = 0
+        for row, original in enumerate(members):
+            if not any_qualifies[row]:
+                results[original] = PredictedActivity.none()
+                continue
+            probs = prob_rows[row]
+            best: Optional[PredictedActivity] = None
+            previous_probability = 0.0
+            for w in range(int(first_window[row]), self._n_windows):
+                probability = probs[w]
+                if probability >= config.confidence and (
+                    best is None or probability > previous_probability
+                ):
+                    window_start = now + w * config.slide_s
+                    best = PredictedActivity(
+                        start=int(window_start + first_values[cursor]),
+                        end=int(window_start + last_values[cursor]),
+                        confidence=probability,
+                    )
+                    cursor += 1
+                    previous_probability = probability
+                elif best is not None:
+                    break
+            results[original] = (
+                best if best is not None else PredictedActivity.none()
+            )
+        return results  # type: ignore[return-value]
 
 
 @lru_cache(maxsize=32)

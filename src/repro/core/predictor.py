@@ -22,6 +22,7 @@ import time as _time
 from typing import Optional, Protocol, Tuple
 
 from repro.config import ProRPConfig
+from repro.core.prediction_cache import HOT_PATH
 from repro.faults.runtime import FAULTS
 from repro.observability.metrics import LATENCY_BUCKETS_MS
 from repro.observability.runtime import OBS
@@ -77,6 +78,7 @@ def _predict_next_activity(
     now: int,
 ) -> PredictedActivity:
     """The uninstrumented Algorithm 4 scan (see the public wrapper)."""
+    HOT_PATH.full_scans += 1
     period = config.seasonality.period_seconds
     periods = config.seasonality_periods_in_history
     window_start = now

@@ -36,7 +36,7 @@ class ExperimentScale:
     eval_days: int = 2
     warmup_days: int = 1
     seed: int = 0
-    eval_end_day: int = None
+    eval_end_day: Optional[int] = None
 
     def __post_init__(self) -> None:
         end_day = self.end_day
@@ -74,7 +74,9 @@ class ExperimentScale:
         base.update(overrides)
         return SimulationSettings(**base)
 
-    def smaller(self, n_databases: int, eval_days: int = None) -> "ExperimentScale":
+    def smaller(
+        self, n_databases: int, eval_days: Optional[int] = None
+    ) -> "ExperimentScale":
         return replace(
             self,
             n_databases=n_databases,

@@ -13,7 +13,7 @@ Three CDFs over the fleet:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis import EmpiricalCdf, format_table
 from repro.config import DEFAULT_CONFIG, ProRPConfig
@@ -100,7 +100,7 @@ def _chatty_tail(scale: ExperimentScale):
 
 
 def run_fig10(
-    scale: ExperimentScale = None,
+    scale: Optional[ExperimentScale] = None,
     preset: RegionPreset = RegionPreset.EU1,
     config: ProRPConfig = DEFAULT_CONFIG,
 ) -> Fig10Result:

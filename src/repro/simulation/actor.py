@@ -30,6 +30,7 @@ from repro.core.policy import (
     prediction_expired,
     reactive_wake_time,
 )
+from repro.core.prediction_cache import PredictionCache
 from repro.core.predictor import LATENCY_FAULT_POINT, predict_next_activity
 from repro.errors import FaultInjectedError, SimulationError
 from repro.faults.resilience import CircuitBreaker
@@ -130,21 +131,21 @@ class _BaseActor:
             # The database does not exist yet: it comes to life physically
             # paused and its first login resumes it reactively (Section 4).
             self._enter_initial_physical_pause()
-            self.queue.schedule(current.start, self._on_session_start)
+            self.queue.schedule_oneshot(current.start, self._on_session_start)
             return
         if current.start <= self.sim_start:
             # Mid-session at simulation start: resumed and active.
             self._acquire_slot()
             self.metadata.set_state(self.database_id, DatabaseState.RESUMED)
             self._active_since = self.sim_start
-            self.queue.schedule(
+            self.queue.schedule_oneshot(
                 min(current.end, self.sim_end), self._on_session_end
             )
         else:
             # Idle at simulation start: settle through the policy's idle
             # path so the state at eval time is policy-consistent.
             self._enter_initial_idle()
-            self.queue.schedule(current.start, self._on_session_start)
+            self.queue.schedule_oneshot(current.start, self._on_session_start)
 
     def _enter_initial_physical_pause(self) -> None:
         self.metadata.set_state(self.database_id, DatabaseState.PHYSICAL_PAUSE)
@@ -163,7 +164,7 @@ class _BaseActor:
         if self._maintenance_index < len(self.maintenance):
             op = self.maintenance[self._maintenance_index]
             if op.start < self.sim_end:
-                self.queue.schedule(
+                self.queue.schedule_oneshot(
                     max(op.start, self.sim_start), self._on_maintenance_start
                 )
 
@@ -176,7 +177,7 @@ class _BaseActor:
         if self._maintenance_index < len(self.maintenance):
             nxt = self.maintenance[self._maintenance_index]
             if nxt.start < self.sim_end:
-                self.queue.schedule(nxt.start, self._on_maintenance_start)
+                self.queue.schedule_oneshot(nxt.start, self._on_maintenance_start)
         self._maintenance_until = max(
             self._maintenance_until, min(op.end, self.sim_end)
         )
@@ -280,7 +281,7 @@ class _BaseActor:
         if self._session_index < len(self.trace.sessions):
             nxt = self.trace.sessions[self._session_index]
             if nxt.start < self.sim_end:
-                self.queue.schedule(nxt.start, self._on_session_start)
+                self.queue.schedule_oneshot(nxt.start, self._on_session_start)
 
     def _on_session_start(self, now: int) -> None:
         self._record_history(now, EventType.ACTIVITY_START)
@@ -294,7 +295,7 @@ class _BaseActor:
             self._settle_idle_interval(now, resumed_by_login=True)
             self._active_since = now
             end = min(self._current_session().end, self.sim_end)
-            self.queue.schedule(end, self._on_session_end)
+            self.queue.schedule_oneshot(end, self._on_session_end)
         elif state is LifecycleState.PHYSICALLY_PAUSED:
             latency = self._acquire_slot()
             self.lifecycle.apply(LifecycleTransition.REACTIVE_RESUME_START, now)
@@ -305,9 +306,9 @@ class _BaseActor:
             self.outcome.record_workflow(now, "reactive_resume")
             self._resume_started_at = now
             self._deferred_session_end = False
-            self.queue.schedule(now + latency, self._on_resume_complete)
+            self.queue.schedule_oneshot(now + latency, self._on_resume_complete)
             end = min(self._current_session().end, self.sim_end)
-            self.queue.schedule(end, self._on_session_end)
+            self.queue.schedule_oneshot(end, self._on_session_end)
         elif state is LifecycleState.RESUMING:
             # A new session while the previous reactive resume is still in
             # flight: resources are still unavailable.
@@ -317,7 +318,7 @@ class _BaseActor:
             self._resume_started_at = now
             self._deferred_session_end = False
             end = min(self._current_session().end, self.sim_end)
-            self.queue.schedule(end, self._on_session_end)
+            self.queue.schedule_oneshot(end, self._on_session_end)
         else:
             raise SimulationError(
                 f"{self.database_id}: session start at t={now} while already "
@@ -493,6 +494,7 @@ class ProactiveActor(_BaseActor):
         collect_predictions: bool = False,
         prorp_outages: Sequence = (),
         breaker: Optional[CircuitBreaker] = None,
+        prediction_cache: Optional[PredictionCache] = None,
     ):
         super().__init__(
             trace,
@@ -514,6 +516,9 @@ class ProactiveActor(_BaseActor):
         #: while open, every refresh degrades to reactive without touching
         #: the predictor at all.
         self._breaker = breaker
+        #: Exact-key memo of the last prediction; the region seeds it from
+        #: one batched predict_fleet call before actors start.
+        self._prediction_cache = prediction_cache
         self.next_activity = PredictedActivity.none()
         self.old = False
 
@@ -612,11 +617,78 @@ class ProactiveActor(_BaseActor):
                 from repro.core.fast_predictor import get_fast_predictor
 
                 predictor = get_fast_predictor(config)
-            self.next_activity = predictor.predict(
-                self.history.login_timestamps(), now
-            )
+            cache = self._prediction_cache
+            if cache is None:
+                self.next_activity = predictor.predict(
+                    self.history.login_array(), now
+                )
+                return
+            # The cache is consulted only after the fault point above, so
+            # injector consult order is identical with and without it.
+            login_version = self.history.login_version
+            cached = cache.get(login_version, config, now)
+            if cached is not None:
+                self.next_activity = cached
+                return
+            self.next_activity = predictor.predict(self.history.login_array(), now)
+            cache.put(login_version, config, now, self.next_activity)
         else:
             self.next_activity = predict_next_activity(self.history, config, now)
+
+    # ------------------------------------------------------------------
+    # Settle-phase batching (region-driven)
+    # ------------------------------------------------------------------
+
+    def initial_prediction_request(self) -> Optional[ProRPConfig]:
+        """Pre-flight for the region's batched settle-phase prediction.
+
+        Returns the resolved Algorithm-4 configuration when this actor's
+        ``start()`` is guaranteed to run a prediction at ``sim_start`` (it
+        settles through the idle path with an old history), after
+        performing the same trim that refresh would -- trimming twice at
+        one instant is idempotent, so the in-start refresh then sees an
+        unchanged ``login_version`` and replays as an exact-key cache hit.
+        Returns None when no prediction will happen (no cache, database
+        mid-session/new/empty at ``sim_start``, ProRP outage) so the
+        region skips it.  Deliberately does **not** consult the circuit
+        breaker (``allow`` can mutate breaker state) nor the fault
+        injector -- both are consulted, in unchanged order, by the real
+        refresh inside ``start()``.
+        """
+        if (
+            self._prediction_cache is None
+            or self._fast_predictor is None
+            or self._measure_latency
+            or self.sim_start <= 0
+        ):
+            return None
+        sessions = self.trace.sessions
+        index = 0
+        while index < len(sessions) and sessions[index].end <= self.sim_start:
+            index += 1
+        if index >= len(sessions):
+            return None  # start() goes to physical pause, no prediction
+        if self.trace.created_at > self.sim_start:
+            return None  # not born yet: physical pause until first login
+        if sessions[index].start <= self.sim_start:
+            return None  # mid-session: active, no idle settling
+        if self._prorp_down(self.sim_start):
+            return None  # refresh degrades to reactive without predicting
+        trimmed = self.history.delete_old_history(
+            self.config.history_days, self.sim_start
+        )
+        if not trimmed.old:
+            return None  # new database: refresh skips the predictor
+        return self._prediction_config(self.sim_start)
+
+    def seed_prediction(
+        self, config: ProRPConfig, now: int, prediction: PredictedActivity
+    ) -> None:
+        """Store a batched settle-phase prediction in the cache."""
+        assert self._prediction_cache is not None
+        self._prediction_cache.put(
+            self.history.login_version, config, now, prediction
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1

@@ -4,6 +4,12 @@ Events are callables scheduled at integer timestamps; ties are broken by
 insertion order so simulations are reproducible.  Timers can be cancelled
 (lazily: cancelled entries are skipped when popped), which the policy actors
 use to drop a pending logical-pause wake-up when the customer logs in.
+
+Most scheduled events are never cancelled (session starts/ends, resume
+completions, the periodic control-plane ticks), so :meth:`EventQueue.
+schedule_oneshot` offers a lighter path that skips the :class:`Timer`
+allocation and its ``on_cancel`` closure entirely; only events that may
+need cancelling (the actors' wake timers) pay for a handle.
 """
 
 from __future__ import annotations
@@ -55,7 +61,7 @@ class EventQueue:
 
     def __init__(self, start: int = 0):
         self._now = start
-        self._heap: List[Tuple[int, int, Timer, Action]] = []
+        self._heap: List[Tuple[int, int, Optional[Timer], Action]] = []
         self._sequence = itertools.count()
         self._live = 0
 
@@ -79,6 +85,23 @@ class EventQueue:
         heapq.heappush(self._heap, (time, next(self._sequence), timer, action))
         self._live += 1
         return timer
+
+    def schedule_oneshot(self, time: int, action: Action) -> None:
+        """Schedule ``action(time)`` without a cancellable handle.
+
+        Identical dispatch semantics to :meth:`schedule` (same (time,
+        insertion-order) priority), but no :class:`Timer` object and no
+        ``on_cancel`` closure are allocated.  Use it for the majority of
+        events that are never cancelled -- trace replay and the periodic
+        control-plane ticks -- and keep :meth:`schedule` for wake-ups
+        that a login may need to drop.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), None, action))
+        self._live += 1
 
     def schedule_after(self, delay: int, action: Action) -> Timer:
         return self.schedule(self._now + delay, action)
@@ -111,10 +134,11 @@ class EventQueue:
         run_start = self._now
         while self._heap and self._heap[0][0] <= end:
             time, _, timer, action = heapq.heappop(self._heap)
-            timer._popped = True
-            if timer.cancelled:
-                # Already removed from the live count at cancel() time.
-                continue
+            if timer is not None:
+                timer._popped = True
+                if timer.cancelled:
+                    # Already removed from the live count at cancel() time.
+                    continue
             self._live -= 1
             self._now = time
             self._dispatch(time, action)
@@ -129,9 +153,10 @@ class EventQueue:
         run_start = self._now
         while self._heap:
             time, _, timer, action = heapq.heappop(self._heap)
-            timer._popped = True
-            if timer.cancelled:
-                continue
+            if timer is not None:
+                timer._popped = True
+                if timer.cancelled:
+                    continue
             self._live -= 1
             self._now = time
             self._dispatch(time, action)

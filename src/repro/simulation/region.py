@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cluster import Cluster
 from repro.config import DEFAULT_CONFIG, ProRPConfig
-from repro.core.fast_predictor import FastPredictor
+from repro.core.fast_predictor import FastPredictor, get_fast_predictor
 from repro.core.kpi import KpiReport
 from repro.core.policy import PolicyKind
+from repro.core.prediction_cache import PredictionCache
 from repro.core.resume_service import IterationRecord, ProactiveResumeOperation
 from repro.errors import SimulationError
 from repro.faults.resilience import CircuitBreaker
@@ -56,6 +57,15 @@ class SimulationSettings:
     seed: int = 0
     #: Use the vectorised predictor (reference predictor when False).
     use_fast_predictor: bool = True
+    #: Memoise predictions per database (exact-key, login-invalidated) and
+    #: batch the settle-phase predictions into one ``predict_fleet`` call.
+    #: Byte-identical results either way (see docs/performance.md); only
+    #: effective together with the fast predictor.
+    use_prediction_cache: bool = True
+    #: Keep only the most recent N resume-operation iteration records,
+    #: rolling older ones into aggregate counters (None keeps all; see
+    #: ProactiveResumeOperation.retain_iterations).
+    resume_iteration_retention: Optional[int] = None
     #: System maintenance operations per database per week (Section 3.3);
     #: 0 disables them.  They hold/resume resources but are excluded from
     #: history, predictions, and the customer KPIs.
@@ -81,6 +91,13 @@ class SimulationSettings:
             raise SimulationError("warmup_s must be non-negative")
         if self.maintenance_per_week < 0:
             raise SimulationError("maintenance_per_week must be non-negative")
+        if (
+            self.resume_iteration_retention is not None
+            and self.resume_iteration_retention <= 0
+        ):
+            raise SimulationError(
+                "resume_iteration_retention must be positive (or None)"
+            )
         for outage in self.prorp_outages:
             start, end = outage
             if end <= start:
@@ -160,6 +177,42 @@ def _warm_history(trace: ActivityTrace, sim_start: int, history_days: int) -> Hi
         )
     store.bulk_load(events)
     return store
+
+
+def _seed_initial_predictions(
+    actors: Dict[str, _BaseActor],
+    fast_predictor: FastPredictor,
+    config: ProRPConfig,
+    sim_start: int,
+) -> None:
+    """Batch the settle-phase predictions into one fleet evaluation.
+
+    Every database that is idle-with-history at ``sim_start`` runs the
+    same prediction at the same instant inside ``actor.start()``.  Here
+    those D single-database Algorithm-4 scans become one
+    :meth:`FastPredictor.predict_fleet` call per distinct configuration
+    (adaptive seasonality can split the fleet); each actor's cache is
+    seeded so the in-start refresh replays as an exact-key hit.  Fault
+    injection and breaker consults stay inside the refresh, untouched.
+    """
+    groups: Dict[ProRPConfig, List[ProactiveActor]] = {}
+    for actor in actors.values():
+        if not isinstance(actor, ProactiveActor):
+            continue
+        request = actor.initial_prediction_request()
+        if request is not None:
+            groups.setdefault(request, []).append(actor)
+    for group_config, members in groups.items():
+        predictor = (
+            fast_predictor
+            if group_config == config
+            else get_fast_predictor(group_config)
+        )
+        predictions = predictor.predict_fleet(
+            [member.history.login_array() for member in members], sim_start
+        )
+        for member, prediction in zip(members, predictions):
+            member.seed_prediction(group_config, sim_start, prediction)
 
 
 def simulate_region(
@@ -274,6 +327,11 @@ def _simulate_region(
                 collect_predictions=settings.collect_predictions,
                 prorp_outages=settings.prorp_outages,
                 breaker=breaker,
+                prediction_cache=(
+                    PredictionCache()
+                    if fast_predictor is not None and settings.use_prediction_cache
+                    else None
+                ),
             )
         else:
             actor = ReactiveActor(
@@ -289,6 +347,11 @@ def _simulate_region(
             )
         actors[trace.database_id] = actor
 
+    if fast_predictor is not None and settings.use_prediction_cache:
+        _seed_initial_predictions(
+            actors, fast_predictor, config, settings.sim_start
+        )
+
     for actor in actors.values():
         actor.start()
 
@@ -299,6 +362,7 @@ def _simulate_region(
             prewarm_s=config.prewarm_s,
             period_s=config.resume_operation_period_s,
             on_prewarm=lambda db_id, now: actors[db_id].prewarm(now),
+            retain_iterations=settings.resume_iteration_retention,
         )
 
         def run_resume_operation(now: int) -> None:
@@ -308,9 +372,9 @@ def _simulate_region(
                 resume_operation.run_once(now)
             nxt = now + config.resume_operation_period_s
             if nxt < settings.eval_end:
-                queue.schedule(nxt, run_resume_operation)
+                queue.schedule_oneshot(nxt, run_resume_operation)
 
-        queue.schedule(
+        queue.schedule_oneshot(
             settings.sim_start + config.resume_operation_period_s,
             run_resume_operation,
         )

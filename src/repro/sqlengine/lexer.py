@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.errors import SqlSyntaxError
 
@@ -48,7 +48,7 @@ class Token:
     value: str
     position: int
 
-    def matches(self, token_type: TokenType, value: str = None) -> bool:
+    def matches(self, token_type: TokenType, value: Optional[str] = None) -> bool:
         if self.type is not token_type:
             return False
         return value is None or self.value == value

@@ -192,9 +192,14 @@ class BTree(Generic[K, V]):
         """Delete ``key`` and return its value; raises KeyNotFoundError."""
         if OBS.enabled:
             OBS.metrics.counter("btree.deletes").inc()
-        value = self._delete(self._root, key)
-        if not self._root.keys and self._root.children:
-            self._root = self._root.children[0]
+        try:
+            value = self._delete(self._root, key)
+        finally:
+            # Collapse a key-less root even when the key was absent: the
+            # descent may still have merged the root's children, and a
+            # later delete must not find a 0-key internal root.
+            if not self._root.keys and self._root.children:
+                self._root = self._root.children[0]
         self._size -= 1
         return value
 

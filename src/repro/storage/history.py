@@ -12,6 +12,20 @@ Implements the stored procedures of the paper over the storage substrate:
 The store also exposes the range aggregates Algorithm 4 issues (first/last
 login within a window of a previous day) and a sorted login-timestamp view
 consumed by the vectorised predictor.
+
+For the prediction hot path the store additionally maintains:
+
+* a **mutation counter** (:attr:`HistoryStore.version`) bumped by every
+  insert and every trim deletion, and a **login version**
+  (:attr:`HistoryStore.login_version`) bumped only when the set of login
+  timestamps changes -- the key the prediction cache invalidates on,
+  since Algorithm 4 reads logins only ("only logins invalidate");
+* an **amortised growth buffer** over the login timestamps
+  (:meth:`HistoryStore.login_array`): in-order logins append in O(1) into
+  a preallocated ``numpy`` array, so the vectorised predictor gets a
+  ready ``int64`` view instead of converting a Python list per call.
+  Out-of-order inserts and trims that actually delete logins mark the
+  buffer for a lazy rebuild.
 """
 
 from __future__ import annotations
@@ -19,6 +33,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import StorageError
 from repro.observability.runtime import OBS
@@ -63,6 +79,34 @@ class HistoryStore:
             row["time_snapshot"]
             for row in self._table.scan(lambda r: r["event_type"] == 1)
         ]
+        self._version = 0
+        self._login_version = 0
+        # Amortised growth buffer over ``_logins``: valid prefix of length
+        # ``_login_len``; ``_login_dirty`` forces a rebuild from the list
+        # after an out-of-order insert or a trim that deleted logins.
+        self._login_buf = np.empty(max(16, len(self._logins)), dtype=np.int64)
+        self._login_len = len(self._logins)
+        self._login_buf[: self._login_len] = self._logins
+        self._login_dirty = False
+
+    # ------------------------------------------------------------------
+    # Mutation versions (prediction-cache keys)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every insert and trim deletion."""
+        return self._version
+
+    @property
+    def login_version(self) -> int:
+        """Counter bumped only when the login set changes.
+
+        Algorithm 4 reads logins exclusively, so a prediction memoised
+        under a given ``login_version`` stays valid across ACTIVITY_END
+        inserts and trims that only dropped non-login tuples.
+        """
+        return self._login_version
 
     # ------------------------------------------------------------------
     # Algorithm 2: InsertHistory
@@ -74,8 +118,16 @@ class HistoryStore:
         inserted = self._table.insert_if_absent(
             {"time_snapshot": time_snapshot, "event_type": int(event_type)}
         )
-        if inserted and event_type == EventType.ACTIVITY_START:
-            bisect.insort(self._logins, time_snapshot)
+        if inserted:
+            self._version += 1
+            if event_type == EventType.ACTIVITY_START:
+                self._login_version += 1
+                if not self._logins or time_snapshot >= self._logins[-1]:
+                    self._logins.append(time_snapshot)
+                    self._append_login_buf(time_snapshot)
+                else:
+                    bisect.insort(self._logins, time_snapshot)
+                    self._login_dirty = True
         if OBS.enabled and inserted:
             OBS.metrics.counter("history.inserts").inc()
         return inserted
@@ -115,9 +167,13 @@ class HistoryStore:
             min_timestamp, history_start, include_lo=False, include_hi=False
         )
         if deleted:
+            self._version += 1
             lo = bisect.bisect_right(self._logins, min_timestamp)
             hi = bisect.bisect_left(self._logins, history_start)
-            del self._logins[lo:hi]
+            if hi > lo:
+                del self._logins[lo:hi]
+                self._login_version += 1
+                self._login_dirty = True
         if OBS.enabled:
             OBS.metrics.counter("history.trimmed_tuples").inc(deleted)
         return DeleteOldHistoryResult(
@@ -154,6 +210,35 @@ class HistoryStore:
     def login_timestamps(self) -> Sequence[int]:
         """All login timestamps in ascending order (vectorised predictor)."""
         return self._logins
+
+    def _append_login_buf(self, time_snapshot: int) -> None:
+        """O(1) amortised append of an in-order login into the buffer."""
+        if self._login_dirty:
+            return
+        if self._login_len == len(self._login_buf):
+            grown = np.empty(len(self._login_buf) * 2, dtype=np.int64)
+            grown[: self._login_len] = self._login_buf[: self._login_len]
+            self._login_buf = grown
+        self._login_buf[self._login_len] = time_snapshot
+        self._login_len += 1
+
+    def login_array(self) -> np.ndarray:
+        """Sorted login timestamps as an ``int64`` array view.
+
+        Returns a view into the internal growth buffer -- callers must not
+        mutate it and must not hold it across further history mutations.
+        Rebuilt lazily from the list only after out-of-order inserts or
+        login-deleting trims.
+        """
+        if self._login_dirty or self._login_len != len(self._logins):
+            if len(self._logins) > len(self._login_buf):
+                self._login_buf = np.empty(
+                    max(16, 2 * len(self._logins)), dtype=np.int64
+                )
+            self._login_len = len(self._logins)
+            self._login_buf[: self._login_len] = self._logins
+            self._login_dirty = False
+        return self._login_buf[: self._login_len]
 
     def events_in_range(self, lo: int, hi: int) -> List[HistoryEvent]:
         """All events with ``lo <= time_snapshot <= hi`` in time order."""

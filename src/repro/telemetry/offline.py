@@ -10,7 +10,7 @@ which is exactly the cross-check such a pipeline provides in production.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.telemetry.events import Component
 from repro.telemetry.store import TelemetryStore
@@ -38,7 +38,7 @@ class OfflineKpis:
 
 
 def evaluate_offline_kpis(
-    store: TelemetryStore, start: int = None, end: int = None
+    store: TelemetryStore, start: Optional[int] = None, end: Optional[int] = None
 ) -> OfflineKpis:
     """Scan the store and rebuild the Section 8 counters."""
     logins = 0

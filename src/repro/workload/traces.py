@@ -10,7 +10,7 @@ from a synthetic fleet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.types import SECONDS_PER_HOUR, ActivityTrace
 
@@ -59,8 +59,8 @@ class IdleIntervalStats:
 
 def idle_interval_stats(
     traces: Sequence[ActivityTrace],
-    window_start: int = None,
-    window_end: int = None,
+    window_start: Optional[int] = None,
+    window_end: Optional[int] = None,
 ) -> IdleIntervalStats:
     """Collect idle intervals across a fleet, optionally clipped to a
     window (idle intervals straddling the boundary are clipped)."""

@@ -1,0 +1,311 @@
+"""Equivalence suite for the prediction hot path.
+
+The cache (exact-key, login-invalidated) and the batched fleet prediction
+(:meth:`FastPredictor.predict_fleet`) are pure optimisations: enabling them
+must leave every simulation result byte-identical.  This suite pins that
+contract:
+
+* ``predict_fleet`` returns exactly the per-database ``predict`` answers
+  (property-based, arbitrary login sets / instants / knob combinations);
+* end-to-end region simulations with the cache on and off produce
+  identical KPIs, identical workflow event times, and identical pre-warm
+  batches across >= 20 seeded scenarios, including weekly and adaptive
+  seasonality and armed fault plans (where the injector's consultation
+  ledger must match too -- the cache may not reorder fault points);
+* :attr:`HistoryStore.login_version` bumps exactly when the login set
+  changes ("only logins invalidate");
+* the cache actually pays for itself: fewer predictor invocations on the
+  same workload.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.config import DEFAULT_CONFIG, ProRPConfig, Seasonality
+from repro.core.fast_predictor import get_fast_predictor
+from repro.core.prediction_cache import HOT_PATH, PredictionCache
+from repro.core.resume_service import SCAN_FAULT_POINT
+from repro.faults import FaultPlan, FaultSpec, chaos
+from repro.simulation.actor import PREDICTOR_FAULT_POINT
+from repro.simulation.region import SimulationSettings, simulate_region
+from repro.storage.history import HistoryStore
+from repro.types import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    ActivityTrace,
+    EventType,
+    PredictedActivity,
+    Session,
+)
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+SPAN_DAYS = 32
+
+EVAL_KWARGS = dict(eval_start=30 * DAY, eval_end=31 * DAY, warmup_s=DAY)
+
+#: Knob combinations the equivalence must hold under.
+CONFIG_VARIANTS = {
+    "daily": DEFAULT_CONFIG,
+    "weekly": DEFAULT_CONFIG.with_overrides(seasonality=Seasonality.WEEKLY),
+    "adaptive": DEFAULT_CONFIG.with_overrides(auto_seasonality=True),
+    "tight": ProRPConfig(
+        logical_pause_s=3 * HOUR,
+        window_s=2 * HOUR,
+        slide_s=15 * 60,
+        confidence=0.3,
+    ),
+}
+
+#: Fault plan armed in the chaos scenarios: the predictor raises sometimes
+#: and the resume-operation scan flakes -- the cache must not change which
+#: consultations happen, so both runs see the same fire sequence.
+CHAOS_PLAN = FaultPlan.of(
+    FaultSpec(PREDICTOR_FAULT_POINT, probability=0.25),
+    FaultSpec(SCAN_FAULT_POINT, probability=0.1),
+)
+
+#: >= 20 seeded end-to-end scenarios (5 fleets x 5 variants).
+SCENARIOS = [
+    pytest.param(seed, variant, plan, id=f"seed{seed}-{variant}{'-chaos' if plan else ''}")
+    for seed in range(5)
+    for variant, plan in [
+        ("daily", None),
+        ("weekly", None),
+        ("adaptive", None),
+        ("tight", None),
+        ("daily", CHAOS_PLAN),
+    ]
+]
+
+
+def make_fleet(seed: int, n: int = 6):
+    """A small deterministic fleet with arbitrary session structures."""
+    rng = random.Random(seed)
+    traces = []
+    for i in range(n):
+        sessions = []
+        cursor = rng.randint(0, 3 * DAY)
+        while cursor < SPAN_DAYS * DAY - HOUR:
+            duration = rng.randint(60, 12 * HOUR)
+            end = min(cursor + duration, SPAN_DAYS * DAY)
+            sessions.append(Session(cursor, end))
+            cursor = end + rng.randint(60, 2 * DAY)
+        created = rng.choice([0, sessions[0].start if sessions else 0])
+        traces.append(ActivityTrace(f"db-{seed}-{i}", sessions, created_at=created))
+    return traces
+
+
+# ----------------------------------------------------------------------
+# predict_fleet == per-database predict (property-based)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def fleet_logins(draw):
+    """1-8 databases, each with 0-40 login timestamps (duplicates allowed,
+    empties included -- the batched path must handle both)."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    fleets = []
+    for _ in range(n):
+        logins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=40 * DAY),
+                min_size=0,
+                max_size=40,
+            )
+        )
+        fleets.append(np.array(sorted(set(logins)), dtype=np.int64))
+    return fleets
+
+
+@hsettings(max_examples=40, deadline=None)
+@given(
+    fleet_logins(),
+    st.integers(min_value=28 * DAY, max_value=32 * DAY),
+    st.sampled_from(["daily", "weekly", "tight"]),
+)
+def test_predict_fleet_matches_per_database(fleets, now, variant):
+    config = CONFIG_VARIANTS[variant]
+    predictor = get_fast_predictor(config)
+    batched = predictor.predict_fleet(fleets, now)
+    singles = [predictor.predict(logins, now) for logins in fleets]
+    assert batched == singles
+
+
+def test_predict_fleet_odd_instants():
+    """Non-slide-aligned instants and the t=0 edge."""
+    predictor = get_fast_predictor(DEFAULT_CONFIG)
+    fleets = [
+        np.array([], dtype=np.int64),
+        np.array([9 * HOUR + 17], dtype=np.int64),
+        np.arange(0, 28 * DAY, 3 * HOUR + 11, dtype=np.int64),
+    ]
+    for now in (0, 100, 28 * DAY + 7, 29 * DAY + 12345):
+        assert predictor.predict_fleet(fleets, now) == [
+            predictor.predict(logins, now) for logins in fleets
+        ]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: cache on == cache off
+# ----------------------------------------------------------------------
+
+
+def _workflow_times(result):
+    return [
+        (
+            outcome.database_id,
+            outcome.physical_pause_times,
+            outcome.logical_pause_times,
+            outcome.proactive_resume_times,
+            outcome.reactive_resume_times,
+        )
+        for outcome in result.outcomes
+    ]
+
+
+def _run(traces, config, use_cache, plan, chaos_seed=1234):
+    settings = SimulationSettings(use_prediction_cache=use_cache, **EVAL_KWARGS)
+    if plan is None:
+        return simulate_region(traces, "proactive", config, settings), None
+    with chaos(plan, seed=chaos_seed) as injector:
+        result = simulate_region(traces, "proactive", config, settings)
+        ledger = (injector.total_consults(), dict(injector.consults),
+                  injector.total_fires())
+    return result, ledger
+
+
+@pytest.mark.parametrize("seed, variant, plan", SCENARIOS)
+def test_cache_is_invisible_end_to_end(seed, variant, plan):
+    traces = make_fleet(seed)
+    config = CONFIG_VARIANTS[variant]
+    on, on_ledger = _run(traces, config, True, plan)
+    off, off_ledger = _run(traces, config, False, plan)
+    assert on.kpis().to_dict() == off.kpis().to_dict()
+    assert on.prewarm_batch_sizes() == off.prewarm_batch_sizes()
+    assert _workflow_times(on) == _workflow_times(off)
+    # Under chaos the fault-point consultation sequence must match too:
+    # the cache sits *behind* the injector consult, never in front of it.
+    assert on_ledger == off_ledger
+
+
+def test_cache_reduces_predictor_invocations():
+    """The optimisation pays: same workload, fewer Algorithm-4 entries."""
+    traces = make_fleet(0, n=12)
+    settings_off = SimulationSettings(use_prediction_cache=False, **EVAL_KWARGS)
+    settings_on = SimulationSettings(use_prediction_cache=True, **EVAL_KWARGS)
+
+    HOT_PATH.reset()
+    simulate_region(traces, "proactive", DEFAULT_CONFIG, settings_off)
+    off = HOT_PATH.snapshot()
+    off_invocations = HOT_PATH.predictor_invocations
+
+    HOT_PATH.reset()
+    simulate_region(traces, "proactive", DEFAULT_CONFIG, settings_on)
+    on = HOT_PATH.snapshot()
+    on_invocations = HOT_PATH.predictor_invocations
+
+    assert off["batch_evals"] == 0 and off["cache_hits"] == 0
+    assert on["batch_evals"] >= 1  # the settle phase batched
+    assert on["cache_hits"] >= 1  # ...and the start() refreshes hit
+    assert on_invocations < off_invocations
+
+
+# ----------------------------------------------------------------------
+# Invalidation semantics
+# ----------------------------------------------------------------------
+
+
+class TestLoginVersion:
+    def test_login_insert_bumps(self):
+        store = HistoryStore()
+        before = store.login_version
+        assert store.insert_history(100, EventType.ACTIVITY_START)
+        assert store.login_version == before + 1
+
+    def test_activity_end_does_not_bump(self):
+        store = HistoryStore()
+        store.insert_history(100, EventType.ACTIVITY_START)
+        before = store.login_version
+        assert store.insert_history(200, EventType.ACTIVITY_END)
+        assert store.login_version == before
+        assert store.version > 0
+
+    def test_duplicate_insert_does_not_bump(self):
+        store = HistoryStore()
+        store.insert_history(100, EventType.ACTIVITY_START)
+        before = store.login_version
+        assert not store.insert_history(100, EventType.ACTIVITY_START)
+        assert store.login_version == before
+
+    def test_trim_deleting_logins_bumps(self):
+        store = HistoryStore()
+        store.insert_history(0, EventType.ACTIVITY_START)  # witness
+        store.insert_history(DAY, EventType.ACTIVITY_START)
+        store.insert_history(40 * DAY, EventType.ACTIVITY_START)
+        before = store.login_version
+        result = store.delete_old_history(28, 40 * DAY)
+        assert result.deleted == 1
+        assert store.login_version == before + 1
+        assert list(store.login_array()) == [0, 40 * DAY]
+
+    def test_trim_deleting_only_ends_does_not_bump(self):
+        store = HistoryStore()
+        store.insert_history(0, EventType.ACTIVITY_START)  # witness survives
+        store.insert_history(100, EventType.ACTIVITY_END)
+        store.insert_history(40 * DAY, EventType.ACTIVITY_START)
+        before = store.login_version
+        result = store.delete_old_history(28, 40 * DAY)
+        assert result.deleted == 1  # only the ACTIVITY_END tuple
+        assert store.login_version == before
+        assert list(store.login_array()) == [0, 40 * DAY]
+
+    def test_out_of_order_insert_rebuilds_array(self):
+        store = HistoryStore()
+        store.insert_history(300, EventType.ACTIVITY_START)
+        store.insert_history(100, EventType.ACTIVITY_START)
+        store.insert_history(200, EventType.ACTIVITY_START)
+        assert list(store.login_array()) == [100, 200, 300]
+
+
+class TestPredictionCache:
+    CONFIG = DEFAULT_CONFIG
+    PREDICTION = PredictedActivity(start=100, end=200, confidence=0.5)
+
+    def test_exact_key_hit(self):
+        cache = PredictionCache()
+        cache.put(3, self.CONFIG, 1000, self.PREDICTION)
+        assert cache.get(3, self.CONFIG, 1000) == self.PREDICTION
+
+    def test_different_now_misses(self):
+        cache = PredictionCache()
+        cache.put(3, self.CONFIG, 1000, self.PREDICTION)
+        assert cache.get(3, self.CONFIG, 1300) is None
+
+    def test_different_config_misses(self):
+        cache = PredictionCache()
+        cache.put(3, self.CONFIG, 1000, self.PREDICTION)
+        other = self.CONFIG.with_overrides(confidence=0.2)
+        assert cache.get(3, other, 1000) is None
+
+    def test_new_login_version_invalidates(self):
+        cache = PredictionCache()
+        cache.put(3, self.CONFIG, 1000, self.PREDICTION)
+        HOT_PATH.reset()
+        assert cache.get(4, self.CONFIG, 1000) is None
+        assert HOT_PATH.cache_invalidations == 1
+        # The slot was cleared: the stale value cannot resurface.
+        assert cache.get(3, self.CONFIG, 1000) is None
+
+    def test_counters(self):
+        cache = PredictionCache()
+        HOT_PATH.reset()
+        assert cache.get(1, self.CONFIG, 0) is None
+        cache.put(1, self.CONFIG, 0, self.PREDICTION)
+        assert cache.get(1, self.CONFIG, 0) == self.PREDICTION
+        assert HOT_PATH.cache_misses == 1
+        assert HOT_PATH.cache_hits == 1
