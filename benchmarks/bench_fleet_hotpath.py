@@ -11,14 +11,17 @@ Two comparisons, both on a region fleet (>= 200 databases at full scale):
   prediction cache + settle-phase batching on and off.  The cached run
   must enter the predictor fewer times and produce byte-identical KPIs.
 
-The resulting baseline is committed at the repo root as
-``BENCH_fleet_hotpath.json`` (regenerate with the full run below); CI
-runs the ``--quick`` variant and uploads its JSON as an artifact.
+Baselines are committed under ``benchmarks/results/``: the full run
+writes ``BENCH_fleet_hotpath.json``, the ``--quick`` variant writes
+``BENCH_fleet_hotpath_quick.json``.  CI re-runs the quick variant to a
+scratch directory and ``benchmarks/check_regression.py`` compares its
+scale-robust ratio metrics against the committed quick baseline.
 
 Run directly for a human-readable report::
 
     PYTHONPATH=src python benchmarks/bench_fleet_hotpath.py          # full
     PYTHONPATH=src python benchmarks/bench_fleet_hotpath.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_fleet_hotpath.py --quick --out /tmp/fresh.json
 
 or through pytest (quick scale)::
 
@@ -44,8 +47,10 @@ from repro.workload.regions import RegionPreset, generate_region_traces
 
 DAY = SECONDS_PER_DAY
 
-#: Where the committed baseline lives (repo root, next to README.md).
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet_hotpath.json"
+#: Where committed baselines live, by repo convention.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_fleet_hotpath.json"
+QUICK_BASELINE_PATH = RESULTS_DIR / "BENCH_fleet_hotpath_quick.json"
 
 FULL_DATABASES = 250
 QUICK_DATABASES = 60
@@ -210,12 +215,15 @@ def bench_fleet_hotpath(record_table) -> None:
 
 def main(argv: List[str]) -> int:
     quick = "--quick" in argv
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    else:
+        out = QUICK_BASELINE_PATH if quick else BASELINE_PATH
     result = run_bench(quick=quick)
     print(_report(result))
-    BASELINE_PATH.write_text(
-        json.dumps(result, indent=2) + "\n", encoding="utf-8"
-    )
-    print(f"wrote {BASELINE_PATH}")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
     _check(result)
     print("ok")
     return 0

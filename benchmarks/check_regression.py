@@ -1,0 +1,191 @@
+"""Benchmark regression gate for CI.
+
+Compares freshly-run ``--quick`` benchmark JSONs against the committed
+quick baselines in ``benchmarks/results/`` and fails when a headline
+metric regresses more than the tolerance (default 25%).
+
+Only scale-robust *ratio* metrics are gated -- speedups, scan
+reductions -- never raw wall-clock numbers, which vary with the runner.
+A check may list alternative keys: it passes when ANY of them holds,
+mirroring the benchmark's own acceptance shape ("the batcher wins on p99
+*or* throughput").  Absolute invariants (the overload run sheds, depth
+stays bounded) are asserted on the fresh run alone.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_hotpath.py --quick --out /tmp/bench_fresh/BENCH_fleet_hotpath_quick.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick --out /tmp/bench_fresh/BENCH_serving_quick.json
+    python benchmarks/check_regression.py --fresh-dir /tmp/bench_fresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(doc: dict, dotted: str) -> float:
+    """Resolve ``"closed_loop.8.p99_speedup"`` against a nested dict."""
+    node = doc
+    for part in dotted.split("."):
+        node = node[part]
+    return float(node)
+
+
+@dataclass(frozen=True)
+class RatioCheck:
+    """Higher-is-better metric(s): pass when any alternative's fresh
+    value is within tolerance of (or better than) its baseline."""
+
+    file: str
+    name: str
+    alternatives: Tuple[str, ...]
+
+    def run(self, baseline: dict, fresh: dict, tolerance: float) -> List[str]:
+        details = []
+        for key in self.alternatives:
+            base = lookup(baseline, key)
+            new = lookup(fresh, key)
+            floor = base * (1.0 - tolerance)
+            ok = new >= floor
+            details.append(
+                f"{key}: fresh {new} vs baseline {base} "
+                f"(floor {floor:.2f}) {'ok' if ok else 'REGRESSED'}"
+            )
+            if ok:
+                return []
+        return details
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Absolute invariant on the fresh run: ``value <= limit`` keys, or
+    ``value > 0`` when ``positive`` is set."""
+
+    file: str
+    name: str
+    value: str
+    limit: str = ""
+    positive: bool = False
+
+    def run(self, baseline: dict, fresh: dict, tolerance: float) -> List[str]:
+        new = lookup(fresh, self.value)
+        if self.positive:
+            if new > 0:
+                return []
+            return [f"{self.value}: fresh {new}, expected > 0"]
+        bound = lookup(fresh, self.limit)
+        if new <= bound:
+            return []
+        return [f"{self.value}: fresh {new} exceeds bound {self.limit}={bound}"]
+
+
+CHECKS: Tuple[object, ...] = (
+    RatioCheck(
+        "BENCH_fleet_hotpath_quick.json",
+        "batched fleet sweep: full-scan reduction",
+        ("fleet_sweep.scan_reduction",),
+    ),
+    RatioCheck(
+        "BENCH_serving_quick.json",
+        "serving micro-batcher vs per-request at 8 clients",
+        ("closed_loop.8.p99_speedup", "closed_loop.8.throughput_speedup"),
+    ),
+    RatioCheck(
+        "BENCH_serving_quick.json",
+        "serving micro-batcher vs per-request at 64 clients",
+        ("closed_loop.64.p99_speedup", "closed_loop.64.throughput_speedup"),
+    ),
+    BoundCheck(
+        "BENCH_serving_quick.json",
+        "overload run sheds load",
+        value="overload.shed_fraction",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_serving_quick.json",
+        "overload queue depth stays bounded",
+        value="overload.max_depth",
+        limit="overload.queue_bound",
+    ),
+)
+
+
+@dataclass
+class Outcome:
+    passed: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+
+def run_checks(
+    baseline_dir: Path, fresh_dir: Path, tolerance: float
+) -> Outcome:
+    outcome = Outcome()
+    docs = {}
+    for check in CHECKS:
+        if check.file not in docs:
+            baseline_path = baseline_dir / check.file
+            fresh_path = fresh_dir / check.file
+            for path, role in ((baseline_path, "baseline"), (fresh_path, "fresh")):
+                if not path.is_file():
+                    outcome.failed.append(f"{role} missing: {path}")
+            if outcome.failed:
+                return outcome
+            docs[check.file] = (
+                json.loads(baseline_path.read_text()),
+                json.loads(fresh_path.read_text()),
+            )
+        baseline, fresh = docs[check.file]
+        failures = check.run(baseline, fresh, tolerance)
+        if failures:
+            outcome.failed.append(
+                f"{check.name} [{check.file}]:\n    " + "\n    ".join(failures)
+            )
+        else:
+            outcome.passed.append(check.name)
+    return outcome
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        required=True,
+        help="directory holding freshly-run quick benchmark JSONs",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory holding committed baselines (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression on ratio metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    outcome = run_checks(args.baseline_dir, args.fresh_dir, args.tolerance)
+    for name in outcome.passed:
+        print(f"ok: {name}")
+    for failure in outcome.failed:
+        print(f"FAIL: {failure}")
+    if outcome.failed:
+        print(f"{len(outcome.failed)} benchmark regression(s)")
+        return 1
+    print(f"all {len(outcome.passed)} benchmark checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -7,13 +7,17 @@ Subcommands::
     python -m repro tune --region US1 --databases 150
     python -m repro observe --databases 50 --chrome-trace trace.json
     python -m repro chaos --fault-rates 0.0 0.1 --check-monotonic
+    python -m repro serve --port 7077
+    python -m repro serve --loadgen 8 --requests-per-client 25
 
 ``simulate`` prints the KPI report of one policy on one region fleet;
 ``figures`` regenerates evaluation figures (tables to stdout); ``tune``
 runs the training pipeline over the window/confidence grid; ``observe``
 runs one instrumented simulation and exports its trace and metrics;
 ``chaos`` sweeps an injected fault rate against QoS/COGS
-(docs/resilience.md).
+(docs/resilience.md); ``serve`` runs the online prediction/resume
+gateway (docs/serving.md) -- over TCP, as a one-shot scripted run
+(``--once``), or against the built-in load generator (``--loadgen``).
 ``simulate``/``figures``/``tune`` also accept the export flags
 (``--trace-out``, ``--metrics-out``, ``--chrome-trace``); passing any of
 them turns the instrumentation on for that run.
@@ -123,6 +127,58 @@ def build_parser() -> argparse.ArgumentParser:
     _common_fleet_args(observe)
     _policy_args(observe)
     _observability_args(observe)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online prediction/resume gateway "
+        "(see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--region",
+        choices=[preset.value for preset in RegionPreset],
+        default="EU1",
+    )
+    serve.add_argument(
+        "--databases", type=int, default=40,
+        help="synthetic fleet size registered with the gateway",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7077,
+        help="TCP port (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="serve one scripted request batch in-process, then shut "
+        "down cleanly (no TCP listener)",
+    )
+    serve.add_argument(
+        "--loadgen", type=int, default=0, metavar="CLIENTS",
+        help="drive the in-process gateway with a closed-loop load "
+        "generator instead of listening on TCP",
+    )
+    serve.add_argument(
+        "--requests-per-client", type=int, default=25,
+        help="closed-loop requests each --loadgen client issues",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="admission bound on queued + in-flight requests",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=64,
+        help="micro-batcher flush size (1 disables batching)",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="micro-batcher max linger before a partial batch flushes",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=0.0,
+        help="per-tenant token-bucket rate in requests/s (0 = unlimited)",
+    )
+    _observability_args(serve)
     return parser
 
 
@@ -358,6 +414,127 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.serving import (
+        HealthRequest,
+        PredictionServer,
+        PredictRequest,
+        ResumeScanRequest,
+        ServingSettings,
+        closed_loop,
+        encode_response,
+        fleet_login_arrays,
+        serve_tcp,
+    )
+
+    now = 29 * DAY
+    settings = ServingSettings(
+        max_queue_depth=args.queue_depth,
+        max_batch_size=args.max_batch_size,
+        max_linger_ms=args.linger_ms,
+        tenant_rate=args.tenant_rate,
+    )
+    fleets = fleet_login_arrays(
+        RegionPreset(args.region),
+        args.databases,
+        now=now,
+        seed=args.seed,
+    )
+
+    def build_server() -> PredictionServer:
+        server = PredictionServer(settings=settings)
+        for i, logins in enumerate(fleets):
+            server.register_database(
+                args.region, f"db-{i}", logins, paused=True
+            )
+        return server
+
+    async def run_once() -> int:
+        """The scripted smoke run: a batchable predict burst, one
+        deliberately expired deadline (exercising the shed path), one
+        resume scan, one health probe."""
+        server = build_server()
+        requests = [
+            PredictRequest(
+                f"predict-{i}",
+                tuple(fleets[i % len(fleets)]),
+                now,
+                region=args.region,
+            )
+            for i in range(min(4, len(fleets)))
+        ]
+        requests.append(
+            PredictRequest(
+                "predict-expired",
+                tuple(fleets[0]),
+                now,
+                region=args.region,
+                deadline_ms=0.0,
+            )
+        )
+        requests.append(ResumeScanRequest("scan-0", now, region=args.region))
+        requests.append(HealthRequest("health-0"))
+        responses = await server.serve_script(requests)
+        for response in responses:
+            print(json.dumps(encode_response(response)))
+        print(f"served {server.stats.served} requests; shut down cleanly")
+        return 0
+
+    async def run_loadgen() -> int:
+        server = build_server()
+        await server.start()
+        report = await closed_loop(
+            server,
+            fleets,
+            now,
+            clients=args.loadgen,
+            requests_per_client=args.requests_per_client,
+            region=args.region,
+            seed=args.seed,
+        )
+        await server.stop()
+        summary = report.summary()
+        print(
+            format_table(
+                ["metric", "value"],
+                [[k, v] for k, v in summary.items()],
+                title=f"closed-loop {args.loadgen} clients on "
+                f"{len(fleets)} databases",
+            )
+        )
+        print("shut down cleanly")
+        return 0
+
+    async def run_tcp() -> int:
+        server = build_server()
+        listener = await serve_tcp(server, host=args.host, port=args.port)
+        host, port = listener.sockets[0].getsockname()[:2]
+        print(f"serving JSON-over-TCP on {host}:{port} (Ctrl-C to drain)")
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop_event.set)
+        await stop_event.wait()
+        listener.close()
+        await listener.wait_closed()
+        await server.stop()
+        print(
+            f"served {server.stats.served} requests, "
+            f"shed {server.admission.total_shed()}; shut down cleanly"
+        )
+        return 0
+
+    if args.once:
+        return asyncio.run(run_once())
+    if args.loadgen > 0:
+        return asyncio.run(run_loadgen())
+    return asyncio.run(run_tcp())
+
+
 def cmd_digest(args: argparse.Namespace) -> int:
     from repro.report import region_digest
 
@@ -388,6 +565,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_tune(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "digest":
         return cmd_digest(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,83 @@
+"""Online serving gateway: async prediction/resume service.
+
+Turns the fleet-prediction hot path into a live, concurrent service:
+typed requests (``requests``), admission control and load shedding
+(``admission``), dynamic micro-batching onto
+``FastPredictor.predict_fleet`` (``batcher``), the asyncio server and its
+JSON-over-TCP front end (``server``), and synthetic load generation
+(``loadgen``).  See ``docs/serving.md``.
+"""
+
+from repro.serving.admission import (
+    QUEUE_FULL_FAULT_POINT,
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.loadgen import (
+    LoadReport,
+    closed_loop,
+    fleet_login_arrays,
+    open_loop,
+)
+from repro.serving.requests import (
+    DeadlineExpired,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    InvalidRequest,
+    Overloaded,
+    PredictRequest,
+    PredictResponse,
+    RateLimited,
+    Request,
+    Response,
+    ResumeScanRequest,
+    ResumeScanResponse,
+    ServingProtocolError,
+    Shutdown,
+    Unavailable,
+    decode_request,
+    encode_response,
+)
+from repro.serving.server import (
+    HANDLER_FAULT_POINT,
+    PredictionServer,
+    ServingSettings,
+    serve_tcp,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "DeadlineExpired",
+    "ErrorResponse",
+    "HANDLER_FAULT_POINT",
+    "HealthRequest",
+    "HealthResponse",
+    "InvalidRequest",
+    "LoadReport",
+    "MicroBatcher",
+    "Overloaded",
+    "PredictRequest",
+    "PredictResponse",
+    "PredictionServer",
+    "QUEUE_FULL_FAULT_POINT",
+    "RateLimited",
+    "Request",
+    "Response",
+    "ResumeScanRequest",
+    "ResumeScanResponse",
+    "ServingProtocolError",
+    "ServingSettings",
+    "Shutdown",
+    "TokenBucket",
+    "Unavailable",
+    "closed_loop",
+    "decode_request",
+    "encode_response",
+    "fleet_login_arrays",
+    "open_loop",
+    "serve_tcp",
+]

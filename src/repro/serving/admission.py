@@ -1,0 +1,196 @@
+"""Admission control: bounded queues, per-tenant rate limits, deadlines.
+
+The gateway never lets work pile up invisibly.  Every request passes this
+layer before it may enqueue, and the layer answers with a typed rejection
+(:class:`~repro.serving.requests.Overloaded`, :class:`RateLimited`,
+:class:`DeadlineExpired`, :class:`Shutdown`) the moment the server cannot
+serve it in time -- the "load shedding over unbounded queue growth"
+posture of production serving stacks.
+
+Depth accounting counts *queued plus in-flight* requests: the dispatch
+loop drains the asyncio queue eagerly (handlers park inside the
+micro-batcher), so the raw queue length alone would never reflect
+pressure.  The ``serving.queue_full`` fault point lets chaos experiments
+force the full-queue path without actually saturating the server.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.faults.runtime import FAULTS
+from repro.observability.runtime import OBS
+from repro.serving.requests import (
+    DeadlineExpired,
+    ErrorResponse,
+    Overloaded,
+    RateLimited,
+    Request,
+    Shutdown,
+)
+
+#: Fault point consulted once per admission decision: when it fires the
+#: request is shed exactly as if the bounded queue were full.
+QUEUE_FULL_FAULT_POINT = "serving.queue_full"
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s up to ``burst`` capacity.
+
+    The clock is injectable so tests (and the simulator, should it ever
+    front the gateway) can drive refills deterministically.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ConfigError("token bucket rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._clock = clock
+        self._last = clock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission layer.
+
+    ``max_queue_depth`` bounds queued + in-flight requests.  ``tenant_rate``
+    (requests/s, refilled continuously, ``tenant_burst`` capacity) rate
+    limits each tenant independently; 0 disables rate limiting.
+    """
+
+    max_queue_depth: int = 256
+    tenant_rate: float = 0.0
+    tenant_burst: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigError("max_queue_depth must be at least 1")
+        if self.tenant_rate < 0:
+            raise ConfigError("tenant_rate must be non-negative")
+
+
+class AdmissionController:
+    """Decides, per request, whether the server may accept more work.
+
+    :meth:`admit` returns ``None`` to accept or a typed rejection to shed.
+    All shed decisions are counted in :attr:`shed` (always-on plain ints)
+    and mirrored into ``serving.shed.*`` counters when observability is
+    enabled.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: reason -> shed count (reasons: queue_full, rate_limited,
+        #: deadline, shutdown).
+        self.shed: Dict[str, int] = {
+            "queue_full": 0,
+            "rate_limited": 0,
+            "deadline": 0,
+            "shutdown": 0,
+        }
+        self.admitted = 0
+
+    def _shed(self, reason: str, response: ErrorResponse) -> ErrorResponse:
+        self.shed[reason] += 1
+        if OBS.enabled:
+            OBS.metrics.counter(f"serving.shed.{reason}").inc()
+        return response
+
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def admit(
+        self, request: Request, depth: int, stopping: bool = False
+    ) -> Optional[ErrorResponse]:
+        """Admission decision for ``request`` given current ``depth``
+        (queued + in-flight).  Returns None (admit) or a typed rejection."""
+        request_id = request.request_id
+        if stopping:
+            return self._shed(
+                "shutdown",
+                Shutdown(request_id, "server is draining; request rejected"),
+            )
+        queue_full_injected = (
+            FAULTS.enabled
+            and FAULTS.injector is not None
+            and FAULTS.injector.should_fire(QUEUE_FULL_FAULT_POINT)
+        )
+        if depth >= self.policy.max_queue_depth or queue_full_injected:
+            return self._shed(
+                "queue_full",
+                Overloaded(
+                    request_id,
+                    f"queue depth {depth} at limit "
+                    f"{self.policy.max_queue_depth}",
+                ),
+            )
+        if self.policy.tenant_rate > 0:
+            bucket = self._buckets.get(request.tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.policy.tenant_rate,
+                    self.policy.tenant_burst,
+                    clock=self._clock,
+                )
+                self._buckets[request.tenant] = bucket
+            if not bucket.try_acquire():
+                return self._shed(
+                    "rate_limited",
+                    RateLimited(
+                        request_id,
+                        f"tenant {request.tenant!r} exceeded "
+                        f"{self.policy.tenant_rate}/s",
+                    ),
+                )
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is not None and deadline_ms <= 0:
+            return self._shed(
+                "deadline",
+                DeadlineExpired(request_id, "deadline expired before admission"),
+            )
+        self.admitted += 1
+        if OBS.enabled:
+            OBS.metrics.counter("serving.admitted").inc()
+        return None
+
+    def shed_deadline(self, request_id: str, waited_ms: float) -> ErrorResponse:
+        """Dispatch-time shed: the queue wait consumed the client budget."""
+        return self._shed(
+            "deadline",
+            DeadlineExpired(
+                request_id,
+                f"deadline expired after {waited_ms:.1f} ms in queue",
+            ),
+        )

@@ -1,0 +1,253 @@
+"""Typed request/response model of the serving gateway.
+
+The gateway speaks a small, explicit vocabulary: three request types
+(predict, resume-scan, health) and one response type per request, plus a
+family of typed rejection responses (:class:`Overloaded`,
+:class:`RateLimited`, :class:`DeadlineExpired`, :class:`Shutdown`,
+:class:`Unavailable`, :class:`InvalidRequest`).  Rejections are *values*,
+not exceptions: a shed request costs one object allocation and the client
+always learns why it was refused -- the load-shedding contract of the
+admission layer (``docs/serving.md``).
+
+Everything is a frozen dataclass with a JSON codec (:func:`decode_request`
+/ :func:`encode_response`) so the same model serves the in-process API,
+the JSON-over-TCP front end, and the scripted CLI ``serve --once`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple, Union
+
+from repro.errors import ProRPError
+from repro.types import PredictedActivity
+
+
+class ServingProtocolError(ProRPError):
+    """A request document could not be decoded into a typed request."""
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """Predict the next activity of one database.
+
+    ``logins`` is the database's sorted login-timestamp history (the
+    serving analogue of ``HistoryStore.login_array()``); ``now`` anchors
+    Algorithm 4's candidate windows.  Requests sharing ``(region, config,
+    now)`` are coalesced into one ``FastPredictor.predict_fleet`` call by
+    the micro-batcher.  ``deadline_ms`` is the client's remaining latency
+    budget at send time: admission rejects it once expired, and the
+    dispatcher re-checks after the queue wait.
+    """
+
+    kind: ClassVar[str] = "predict"
+
+    request_id: str
+    logins: Tuple[int, ...]
+    now: int
+    region: str = "EU1"
+    config: str = "default"
+    tenant: str = "default"
+    deadline_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ResumeScanRequest:
+    """One iteration of the proactive resume scan (Algorithm 5) over the
+    server's registered fleet: predict every physically paused database of
+    ``region`` and return those whose predicted activity starts inside
+    ``[now + prewarm_s, now + prewarm_s + period_s)``."""
+
+    kind: ClassVar[str] = "resume_scan"
+
+    request_id: str
+    now: int
+    prewarm_s: int = 600
+    period_s: int = 60
+    region: str = "EU1"
+    config: str = "default"
+    tenant: str = "default"
+    deadline_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """Liveness/stats probe; never queued, never shed."""
+
+    kind: ClassVar[str] = "health"
+
+    request_id: str
+    tenant: str = "default"
+
+
+Request = Union[PredictRequest, ResumeScanRequest, HealthRequest]
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    kind: ClassVar[str] = "predict"
+
+    request_id: str
+    prediction: PredictedActivity
+    #: How many requests shared the ``predict_fleet`` evaluation.
+    batch_size: int
+    queue_wait_ms: float
+
+
+@dataclass(frozen=True)
+class ResumeScanResponse:
+    kind: ClassVar[str] = "resume_scan"
+
+    request_id: str
+    database_ids: Tuple[str, ...]
+    #: Paused databases the scan evaluated.
+    scanned: int
+    queue_wait_ms: float
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    kind: ClassVar[str] = "health"
+
+    request_id: str
+    status: str
+    queue_depth: int
+    in_flight: int
+    served: int
+    shed: int
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Base of the typed rejection family; ``kind`` names the reason."""
+
+    kind: ClassVar[str] = "error"
+
+    request_id: str
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class Overloaded(ErrorResponse):
+    """Shed: the bounded queue (queued + in-flight) is full."""
+
+    kind: ClassVar[str] = "overloaded"
+
+
+@dataclass(frozen=True)
+class RateLimited(ErrorResponse):
+    """Shed: the tenant's token bucket is empty."""
+
+    kind: ClassVar[str] = "rate_limited"
+
+
+@dataclass(frozen=True)
+class DeadlineExpired(ErrorResponse):
+    """Shed: the client's deadline passed before the work would start."""
+
+    kind: ClassVar[str] = "deadline_expired"
+
+
+@dataclass(frozen=True)
+class Shutdown(ErrorResponse):
+    """Shed: the server is draining; queued work is rejected, not lost."""
+
+    kind: ClassVar[str] = "shutdown"
+
+
+@dataclass(frozen=True)
+class Unavailable(ErrorResponse):
+    """The predictor backend failed (retries exhausted or breaker open)."""
+
+    kind: ClassVar[str] = "unavailable"
+
+
+@dataclass(frozen=True)
+class InvalidRequest(ErrorResponse):
+    """The request document could not be decoded."""
+
+    kind: ClassVar[str] = "invalid"
+
+
+Response = Union[
+    PredictResponse, ResumeScanResponse, HealthResponse, ErrorResponse
+]
+
+
+# ---------------------------------------------------------------------------
+# JSON codec
+# ---------------------------------------------------------------------------
+
+_REQUEST_TYPES: Dict[str, type] = {
+    cls.kind: cls for cls in (PredictRequest, ResumeScanRequest, HealthRequest)
+}
+
+
+def decode_request(doc: Dict[str, Any]) -> Request:
+    """Build a typed request from a decoded JSON object.
+
+    The document carries ``{"type": <kind>, ...fields}``; unknown types
+    and unknown/missing fields raise :class:`ServingProtocolError` so the
+    front end can answer with :class:`InvalidRequest` instead of dying.
+    """
+    if not isinstance(doc, dict):
+        raise ServingProtocolError("request document must be a JSON object")
+    request_type = doc.get("type")
+    cls = _REQUEST_TYPES.get(request_type)
+    if cls is None:
+        raise ServingProtocolError(f"unknown request type {request_type!r}")
+    known = {f.name for f in fields(cls)}
+    kwargs = {}
+    for name, value in doc.items():
+        if name == "type":
+            continue
+        if name not in known:
+            raise ServingProtocolError(
+                f"unknown field {name!r} for {request_type!r} request"
+            )
+        kwargs[name] = tuple(value) if name == "logins" else value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ServingProtocolError(f"bad {request_type!r} request: {exc}") from exc
+
+
+def encode_response(response: Response) -> Dict[str, Any]:
+    """The response as a JSON-serialisable object (``type`` discriminated)."""
+    doc: Dict[str, Any] = {"type": response.kind, "request_id": response.request_id}
+    if isinstance(response, PredictResponse):
+        p = response.prediction
+        doc["prediction"] = (
+            None
+            if p.is_empty
+            else {"start": p.start, "end": p.end, "confidence": p.confidence}
+        )
+        doc["batch_size"] = response.batch_size
+        doc["queue_wait_ms"] = round(response.queue_wait_ms, 3)
+    elif isinstance(response, ResumeScanResponse):
+        doc["database_ids"] = list(response.database_ids)
+        doc["scanned"] = response.scanned
+        doc["queue_wait_ms"] = round(response.queue_wait_ms, 3)
+    elif isinstance(response, HealthResponse):
+        doc.update(
+            status=response.status,
+            queue_depth=response.queue_depth,
+            in_flight=response.in_flight,
+            served=response.served,
+            shed=response.shed,
+            stats=dict(response.stats),
+        )
+    else:
+        doc["message"] = response.message
+    return doc

@@ -1,0 +1,571 @@
+"""The in-process async gateway and its JSON-over-TCP front end.
+
+Request flow (``docs/serving.md`` has the full diagram)::
+
+    client -> submit() -> AdmissionController -> bounded queue
+           -> dispatch loop -> handler task -> MicroBatcher
+           -> FastPredictor.predict_fleet (breaker + retry guarded)
+           -> response future
+
+The server is a single asyncio event loop: handlers are coroutine tasks,
+the predictor evaluation itself is synchronous numpy (micro-batched, so
+one grid pass answers many requests).  Admission bounds queued +
+in-flight work and sheds the rest with typed rejections; the dispatch
+loop measures queue wait, re-checks deadlines, and hints the batcher to
+flush the moment the queue drains.
+
+Resilience wiring mirrors the simulator's proactive policy: the
+``serving.handler`` fault point can fail an evaluation, a
+:class:`~repro.faults.resilience.RetryPolicy` absorbs transients, and a
+:class:`~repro.faults.resilience.CircuitBreaker` opens after repeated
+failures so a broken predictor back end answers ``Unavailable``
+immediately instead of burning the queue.
+
+``stop()`` is the graceful-shutdown contract: new arrivals are rejected
+with :class:`~repro.serving.requests.Shutdown`, queued-but-unstarted
+requests are drained and rejected the same way, in-flight batches are
+flushed and awaited, and the metrics snapshot is exported when
+configured.  No request future is ever left pending -- a regression test
+pins that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.core.fast_predictor import get_fast_predictor
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    FaultInjectedError,
+    ProRPError,
+)
+from repro.faults.resilience import CircuitBreaker, RetryPolicy
+from repro.faults.runtime import FAULTS
+from repro.observability import exporters
+from repro.observability.metrics import LATENCY_BUCKETS_MS
+from repro.observability.runtime import OBS
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.batcher import MicroBatcher
+from repro.serving.requests import (
+    HealthRequest,
+    HealthResponse,
+    InvalidRequest,
+    PredictRequest,
+    PredictResponse,
+    Request,
+    Response,
+    ResumeScanRequest,
+    ResumeScanResponse,
+    ServingProtocolError,
+    Shutdown,
+    Unavailable,
+    decode_request,
+    encode_response,
+)
+from repro.types import PredictedActivity
+
+#: Fault point consulted once per batch evaluation: the predictor back
+#: end fails (retried, then breaker-accounted).
+HANDLER_FAULT_POINT = "serving.handler"
+
+#: Names pre-registered into the metrics registry at start() so a
+#: snapshot always carries the serving namespace, even before traffic.
+_PREREGISTERED_COUNTERS = (
+    "serving.requests.predict",
+    "serving.requests.resume_scan",
+    "serving.requests.health",
+    "serving.admitted",
+    "serving.served",
+    "serving.errors",
+    "serving.shed.queue_full",
+    "serving.shed.rate_limited",
+    "serving.shed.deadline",
+    "serving.shed.shutdown",
+)
+
+
+@dataclass(frozen=True)
+class ServingSettings:
+    """Gateway knobs: queueing, batching, rate limiting, resilience."""
+
+    max_queue_depth: int = 256
+    max_batch_size: int = 64
+    max_linger_ms: float = 2.0
+    tenant_rate: float = 0.0
+    tenant_burst: float = 8.0
+    retry_attempts: int = 2
+    breaker_failure_threshold: int = 5
+    breaker_recovery_s: float = 1.0
+    #: When set, ``stop()`` flushes the live metrics snapshot here
+    #: (JSON when the path ends in .json, plain text otherwise).
+    metrics_out: Optional[str] = None
+
+    def admission_policy(self) -> AdmissionPolicy:
+        return AdmissionPolicy(
+            max_queue_depth=self.max_queue_depth,
+            tenant_rate=self.tenant_rate,
+            tenant_burst=self.tenant_burst,
+        )
+
+
+@dataclass
+class ServerStats:
+    """Always-on plain-int accounting (the HOT_PATH discipline)."""
+
+    served: int = 0
+    errors: int = 0
+    max_depth: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: str) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class _QueueEntry:
+    __slots__ = ("request", "future", "enqueued_at")
+
+    def __init__(self, request: Request, future: asyncio.Future, enqueued_at: float):
+        self.request = request
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+_STOP = object()
+
+
+class PredictionServer:
+    """The online gateway over the fleet-prediction hot path.
+
+    ``configs`` maps the config names requests carry to knob sets; the
+    default maps ``"default"`` to :data:`repro.config.DEFAULT_CONFIG`.
+    ``clock`` is injectable for deterministic queue-wait/deadline tests.
+    """
+
+    def __init__(
+        self,
+        configs: Optional[Dict[str, ProRPConfig]] = None,
+        settings: Optional[ServingSettings] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.settings = settings if settings is not None else ServingSettings()
+        self._configs = dict(configs) if configs else {"default": DEFAULT_CONFIG}
+        self._clock = clock
+        self.admission = AdmissionController(
+            self.settings.admission_policy(), clock=clock
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=self.settings.max_batch_size,
+            max_linger_s=self.settings.max_linger_ms / 1000.0,
+        )
+        self._retry = RetryPolicy(
+            max_attempts=max(1, self.settings.retry_attempts),
+            base_delay_s=0.0,
+            jitter=0.0,
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.settings.breaker_failure_threshold,
+            recovery_s=self.settings.breaker_recovery_s,
+            name="serving.predictor",
+        )
+        self.stats = ServerStats()
+        #: region -> database id -> (sorted logins, physically paused?).
+        self._fleet: Dict[str, Dict[str, Tuple[Sequence[int], bool]]] = {}
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._in_flight: set = set()
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Fleet registry (the resume scan's metadata substitute)
+    # ------------------------------------------------------------------
+
+    def register_database(
+        self,
+        region: str,
+        database_id: str,
+        logins: Sequence[int],
+        paused: bool = True,
+    ) -> None:
+        """Register one database's login history for resume scans."""
+        self._fleet.setdefault(region, {})[database_id] = (logins, paused)
+
+    def set_paused(self, region: str, database_id: str, paused: bool) -> None:
+        logins, _ = self._fleet[region][database_id]
+        self._fleet[region][database_id] = (logins, paused)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatch loop; idempotent until stopped."""
+        if self._started:
+            return
+        if self._stopping:
+            raise ConfigError("a stopped PredictionServer cannot restart")
+        self._started = True
+        if OBS.enabled:
+            for name in _PREREGISTERED_COUNTERS:
+                OBS.metrics.counter(name)
+            OBS.metrics.histogram(
+                "serving.queue.wait_ms", buckets=LATENCY_BUCKETS_MS
+            )
+            OBS.metrics.histogram(
+                "serving.latency_ms", buckets=LATENCY_BUCKETS_MS
+            )
+            OBS.metrics.gauge("serving.queue.depth").set(0)
+        self._dispatch_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: reject queued work, drain in-flight work.
+
+        Ordering matters: close admission first (new arrivals see
+        ``Shutdown``), drain the queue (FIFO entries the dispatcher has
+        not started get ``Shutdown``), stop the dispatcher, then flush
+        the batcher until every in-flight handler resolved.  Finally
+        export the metrics snapshot when configured.
+        """
+        if not self._started or self._stopping:
+            self._stopping = True
+            return
+        self._stopping = True
+        self.batcher.immediate = True
+        drained: List[_QueueEntry] = []
+        while not self._queue.empty():
+            entry = self._queue.get_nowait()
+            if entry is not _STOP:
+                drained.append(entry)
+        for entry in drained:
+            self.admission.shed["shutdown"] += 1
+            if OBS.enabled:
+                OBS.metrics.counter("serving.shed.shutdown").inc()
+            self._resolve(
+                entry,
+                Shutdown(entry.request.request_id, "server stopped while queued"),
+            )
+        self._queue.put_nowait(_STOP)
+        if self._dispatch_task is not None:
+            await self._dispatch_task
+            self._dispatch_task = None
+        while self._in_flight:
+            self.batcher.flush_all()
+            await asyncio.gather(
+                *list(self._in_flight), return_exceptions=True
+            )
+        if self.settings.metrics_out and OBS.enabled and OBS.metrics is not None:
+            exporters.write_metrics_snapshot(
+                OBS.metrics, self.settings.metrics_out, title="serving"
+            )
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping
+
+    def depth(self) -> int:
+        """Current logical queue depth: queued plus in-flight requests."""
+        return self._queue.qsize() + len(self._in_flight)
+
+    # ------------------------------------------------------------------
+    # Request entry point
+    # ------------------------------------------------------------------
+
+    async def submit(self, request: Request) -> Response:
+        """Serve one request; always returns a typed response."""
+        if OBS.enabled:
+            OBS.metrics.counter(f"serving.requests.{request.kind}").inc()
+        if isinstance(request, HealthRequest):
+            return self._health(request)
+        if not self._started and not self._stopping:
+            await self.start()
+        rejection = self.admission.admit(
+            request, depth=self.depth(), stopping=self._stopping
+        )
+        if rejection is not None:
+            return rejection
+        loop = asyncio.get_running_loop()
+        entry = _QueueEntry(request, loop.create_future(), self._clock())
+        self._queue.put_nowait(entry)
+        depth = self.depth()
+        if depth > self.stats.max_depth:
+            self.stats.max_depth = depth
+        if OBS.enabled:
+            OBS.metrics.gauge("serving.queue.depth").set(depth)
+        return await entry.future
+
+    def _health(self, request: HealthRequest) -> HealthResponse:
+        status = "stopping" if self._stopping else (
+            "ok" if self._started else "idle"
+        )
+        return HealthResponse(
+            request_id=request.request_id,
+            status=status,
+            queue_depth=self.depth(),
+            in_flight=len(self._in_flight),
+            served=self.stats.served,
+            shed=self.admission.total_shed(),
+            stats={
+                "errors": self.stats.errors,
+                "max_depth": self.stats.max_depth,
+                "batches": self.batcher.batches,
+                "batched_requests": self.batcher.batched_requests,
+                "breaker_opens": self._breaker.opens,
+                **{f"shed_{k}": v for k, v in self.admission.shed.items()},
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            if entry is _STOP:
+                return
+            waited_ms = (self._clock() - entry.enqueued_at) * 1000.0
+            if OBS.enabled:
+                OBS.metrics.histogram(
+                    "serving.queue.wait_ms", buckets=LATENCY_BUCKETS_MS
+                ).observe(waited_ms)
+            deadline_ms = getattr(entry.request, "deadline_ms", None)
+            if deadline_ms is not None and waited_ms > deadline_ms:
+                self._resolve(
+                    entry,
+                    self.admission.shed_deadline(
+                        entry.request.request_id, waited_ms
+                    ),
+                )
+                continue
+            task = loop.create_task(self._handle(entry, waited_ms))
+            self._in_flight.add(task)
+            task.add_done_callback(self._in_flight.discard)
+            if self._queue.qsize() == 0:
+                # The burst is fully dispatched; once the handler tasks
+                # have joined their batches (they run before this
+                # callback), flush rather than waiting out the linger.
+                loop.call_soon(self.batcher.flush_ready)
+
+    async def _handle(self, entry: _QueueEntry, waited_ms: float) -> None:
+        started = time.perf_counter()
+        request = entry.request
+        try:
+            if isinstance(request, PredictRequest):
+                response = await self._handle_predict(request, waited_ms)
+            elif isinstance(request, ResumeScanRequest):
+                response = await self._handle_resume_scan(request, waited_ms)
+            else:  # pragma: no cover - admission admits typed requests only
+                response = InvalidRequest(
+                    request.request_id, f"unhandled request {request!r}"
+                )
+        except CircuitOpenError as exc:
+            response = self._error(request.request_id, f"breaker open: {exc}")
+        except ProRPError as exc:
+            response = self._error(request.request_id, str(exc))
+        self._resolve(entry, response)
+        if OBS.enabled:
+            OBS.metrics.histogram(
+                "serving.latency_ms", buckets=LATENCY_BUCKETS_MS
+            ).observe((time.perf_counter() - started) * 1000.0 + waited_ms)
+
+    def _error(self, request_id: str, message: str) -> Unavailable:
+        self.stats.errors += 1
+        if OBS.enabled:
+            OBS.metrics.counter("serving.errors").inc()
+        return Unavailable(request_id, message)
+
+    def _resolve(self, entry: _QueueEntry, response: Response) -> None:
+        if not entry.future.done():
+            self.stats.served += 1
+            self.stats.count(response.kind)
+            if OBS.enabled:
+                OBS.metrics.counter("serving.served").inc()
+            entry.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _config(self, name: str) -> ProRPConfig:
+        config = self._configs.get(name)
+        if config is None:
+            raise ServingProtocolError(f"unknown config {name!r}")
+        return config
+
+    async def _handle_predict(
+        self, request: PredictRequest, waited_ms: float
+    ) -> Response:
+        self._config(request.config)  # validate before batching
+        prediction, batch_size = await self.batcher.submit(
+            (request.region, request.config), request.logins, request.now
+        )
+        return PredictResponse(
+            request_id=request.request_id,
+            prediction=prediction,
+            batch_size=batch_size,
+            queue_wait_ms=waited_ms,
+        )
+
+    async def _handle_resume_scan(
+        self, request: ResumeScanRequest, waited_ms: float
+    ) -> Response:
+        """Algorithm 5 over the registered fleet: predict every paused
+        database in one batched evaluation, pre-warm those whose start
+        falls in the k-th window from now."""
+        fleet = self._fleet.get(request.region, {})
+        paused = [
+            (database_id, logins)
+            for database_id, (logins, is_paused) in fleet.items()
+            if is_paused
+        ]
+        if not paused:
+            return ResumeScanResponse(
+                request_id=request.request_id,
+                database_ids=(),
+                scanned=0,
+                queue_wait_ms=waited_ms,
+            )
+        key = (request.region, request.config)
+        predictions = self._run_batch(
+            key, [logins for _, logins in paused], request.now
+        )
+        window_start = request.now + request.prewarm_s
+        window_end = window_start + request.period_s
+        selected = tuple(
+            database_id
+            for (database_id, _), prediction in zip(paused, predictions)
+            if not prediction.is_empty
+            and window_start <= prediction.start < window_end
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("serving.resume_scan.prewarms").inc(
+                len(selected)
+            )
+        return ResumeScanResponse(
+            request_id=request.request_id,
+            database_ids=selected,
+            scanned=len(paused),
+            queue_wait_ms=waited_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # Guarded predictor evaluation
+    # ------------------------------------------------------------------
+
+    def _run_batch(
+        self, key: Tuple[str, str], fleet_logins: List[Sequence[int]], now: int
+    ) -> List[PredictedActivity]:
+        """The batcher's evaluation callback (the resume scan calls it
+        directly): resolve the config and run ``predict_fleet`` behind
+        the breaker and retry policy."""
+        _, config_name = key
+        config = self._config(config_name)
+        breaker_now = self._clock()
+        if not self._breaker.allow(breaker_now):
+            raise CircuitOpenError(
+                "serving.predictor breaker is open; shedding evaluation"
+            )
+
+        def attempt() -> List[PredictedActivity]:
+            if FAULTS.enabled and FAULTS.injector is not None:
+                if FAULTS.injector.should_fire(HANDLER_FAULT_POINT):
+                    raise FaultInjectedError(
+                        HANDLER_FAULT_POINT,
+                        "injected: serving handler backend failure",
+                    )
+            predictor = get_fast_predictor(config)
+            return predictor.predict_fleet(fleet_logins, now)
+
+        def on_retry(attempt_no: int, delay_s: float, error: BaseException) -> None:
+            if FAULTS.enabled and FAULTS.injector is not None:
+                FAULTS.injector.note("retry.serving.handler")
+            if OBS.enabled:
+                OBS.metrics.counter("serving.retries").inc()
+
+        try:
+            # Retries are immediate (no sleeps): the event loop must not
+            # block, and transient injected faults clear on re-roll.
+            results = self._retry.call(
+                attempt, retry_on=(ProRPError,), on_retry=on_retry
+            )
+        except ProRPError:
+            self._breaker.record_failure(self._clock())
+            raise
+        self._breaker.record_success(self._clock())
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Convenience: one-shot in-process serving
+    # ------------------------------------------------------------------
+
+    async def serve_script(self, requests: List[Request]) -> List[Response]:
+        """Start, serve ``requests`` concurrently, stop.  The CLI's
+        ``serve --once`` mode and tests drive the server through this."""
+        await self.start()
+        try:
+            return list(
+                await asyncio.gather(*(self.submit(r) for r in requests))
+            )
+        finally:
+            await self.stop()
+
+
+# ---------------------------------------------------------------------------
+# JSON-over-TCP front end
+# ---------------------------------------------------------------------------
+
+
+async def handle_connection(
+    server: PredictionServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: newline-delimited JSON requests in,
+    newline-delimited JSON responses out (pipelined, answered in order)."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                request = decode_request(json.loads(text))
+            except (json.JSONDecodeError, ServingProtocolError) as exc:
+                response: Response = InvalidRequest("?", str(exc))
+            else:
+                response = await server.submit(request)
+            writer.write(
+                (json.dumps(encode_response(response)) + "\n").encode("utf-8")
+            )
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def serve_tcp(
+    server: PredictionServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Expose ``server`` over TCP; returns the listening asyncio server
+    (``.sockets[0].getsockname()`` reveals the bound port when 0)."""
+    await server.start()
+
+    async def _on_connect(reader, writer):
+        await handle_connection(server, reader, writer)
+
+    return await asyncio.start_server(_on_connect, host=host, port=port)

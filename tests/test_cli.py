@@ -24,6 +24,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7077
+        assert args.max_batch_size == 64
+        assert not args.once
+
 
 class TestCommands:
     def test_simulate_prints_kpis(self, capsys):
@@ -129,6 +135,40 @@ class TestCommands:
             ]
         )
         assert code == 2
+
+
+class TestServe:
+    def test_serve_once_round_trip(self, capsys):
+        """serve --once: start the gateway in-process, serve a scripted
+        request set (predicts, an expired deadline, a resume scan, a
+        health probe), and shut down cleanly."""
+        import json
+
+        code = main(["serve", "--once", "--databases", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shut down cleanly" in out
+        lines = [l for l in out.splitlines() if l.startswith("{")]
+        docs = [json.loads(l) for l in lines]
+        kinds = [d["type"] for d in docs]
+        assert "predict" in kinds
+        assert "deadline_expired" in kinds
+        assert "resume_scan" in kinds
+        assert "health" in kinds
+
+    def test_serve_loadgen(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--loadgen", "2",
+                "--requests-per-client", "3",
+                "--databases", "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shut down cleanly" in out
+        assert "throughput_rps" in out
 
 
 def test_digest_command(capsys):

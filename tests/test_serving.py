@@ -1,0 +1,651 @@
+"""Tests for the online serving gateway (``repro/serving/``).
+
+The center of gravity is the equivalence property: the micro-batcher,
+under *any* interleaving of request arrivals and any batching knobs, must
+resolve every request with exactly the prediction a per-request
+``FastPredictor.predict`` call would return -- batching is transport, not
+semantics.  The strategy reuses the fleet harness of
+``tests/test_prediction_cache.py``.
+
+Around that: admission control (bounded depth, token buckets, deadlines),
+typed load shedding, fault-point/breaker integration, the JSON-over-TCP
+front end, serving metrics, and the graceful-shutdown contract (no
+request future is ever left pending).
+"""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.fast_predictor import get_fast_predictor
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, FaultSpec, chaos
+from repro.observability import observed
+from repro.serving import (
+    AdmissionController,
+    AdmissionPolicy,
+    HealthRequest,
+    MicroBatcher,
+    PredictionServer,
+    PredictRequest,
+    ResumeScanRequest,
+    ServingProtocolError,
+    ServingSettings,
+    TokenBucket,
+    closed_loop,
+    decode_request,
+    encode_response,
+    fleet_login_arrays,
+    open_loop,
+    serve_tcp,
+)
+from repro.serving.requests import (
+    DeadlineExpired,
+    Overloaded,
+    PredictResponse,
+    RateLimited,
+    ResumeScanResponse,
+    Shutdown,
+    Unavailable,
+)
+from repro.types import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from tests.test_prediction_cache import CONFIG_VARIANTS, fleet_logins
+
+DAY = SECONDS_PER_DAY
+HOUR = SECONDS_PER_HOUR
+NOW = 29 * DAY
+
+#: A small deterministic fleet shared by the server-level tests.
+FLEETS = fleet_login_arrays(n_databases=24, now=NOW, seed=3)
+
+
+class SteppingClock:
+    """A fake monotonic clock advancing ``step`` seconds per read."""
+
+    def __init__(self, step: float = 0.0, start: float = 100.0):
+        self.t = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def predict_request(i: int, **overrides) -> PredictRequest:
+    defaults = dict(
+        request_id=f"r{i}",
+        logins=tuple(FLEETS[i % len(FLEETS)]),
+        now=NOW,
+    )
+    defaults.update(overrides)
+    return PredictRequest(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher: byte-identical to per-request predict (property-based)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def arrival_schedule(draw):
+    """Batching knobs plus a per-request arrival plan: each request
+    either joins immediately or sleeps first, producing arbitrary
+    interleavings of batch membership."""
+    max_batch = draw(st.integers(min_value=1, max_value=8))
+    linger_ms = draw(st.sampled_from([0.0, 0.5, 2.0]))
+    delays = draw(
+        st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=12)
+    )
+    return max_batch, linger_ms, delays
+
+
+@hsettings(max_examples=25, deadline=None)
+@given(
+    fleet_logins(),
+    arrival_schedule(),
+    st.sampled_from(["daily", "weekly", "tight"]),
+)
+def test_batcher_matches_per_request_predict(fleets, schedule, variant):
+    config = CONFIG_VARIANTS[variant]
+    predictor = get_fast_predictor(config)
+    max_batch, linger_ms, delays = schedule
+    # One request per delay slot, cycling over the drawn fleet.
+    requests = [fleets[i % len(fleets)] for i in range(len(delays))]
+
+    async def run():
+        batcher = MicroBatcher(
+            lambda key, batch, now: predictor.predict_fleet(batch, now),
+            max_batch_size=max_batch,
+            max_linger_s=linger_ms / 1000.0,
+        )
+
+        async def one(i):
+            if delays[i]:
+                await asyncio.sleep(0.0005 * delays[i])
+            prediction, _ = await batcher.submit("k", requests[i], NOW)
+            return prediction
+
+        return await asyncio.gather(*(one(i) for i in range(len(requests))))
+
+    batched = asyncio.run(run())
+    assert batched == [predictor.predict(logins, NOW) for logins in requests]
+
+
+def test_batcher_flushes_at_max_size_without_linger():
+    """A full batch must not wait out a (here: absurd) linger window."""
+    predictor = get_fast_predictor(DEFAULT_CONFIG)
+
+    async def run():
+        batcher = MicroBatcher(
+            lambda key, batch, now: predictor.predict_fleet(batch, now),
+            max_batch_size=3,
+            max_linger_s=30.0,
+        )
+        results = await asyncio.wait_for(
+            asyncio.gather(
+                *(batcher.submit("k", FLEETS[i], NOW) for i in range(3))
+            ),
+            timeout=5.0,
+        )
+        assert [size for _, size in results] == [3, 3, 3]
+        assert batcher.batches == 1 and batcher.batched_requests == 3
+
+    asyncio.run(run())
+
+
+def test_batcher_groups_by_key_and_now():
+    """Different (key, now) pairs never share a batch."""
+    predictor = get_fast_predictor(DEFAULT_CONFIG)
+
+    async def run():
+        batcher = MicroBatcher(
+            lambda key, batch, now: predictor.predict_fleet(batch, now),
+            max_batch_size=16,
+            max_linger_s=0.001,
+        )
+        results = await asyncio.gather(
+            batcher.submit("a", FLEETS[0], NOW),
+            batcher.submit("a", FLEETS[1], NOW),
+            batcher.submit("b", FLEETS[2], NOW),
+            batcher.submit("a", FLEETS[3], NOW + 60),
+        )
+        sizes = [size for _, size in results]
+        assert sizes == [2, 2, 1, 1]
+        assert batcher.batches == 3
+
+    asyncio.run(run())
+
+
+def test_batcher_rejects_bad_knobs():
+    with pytest.raises(ConfigError):
+        MicroBatcher(lambda k, b, n: [], max_batch_size=0)
+    with pytest.raises(ConfigError):
+        MicroBatcher(lambda k, b, n: [], max_linger_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Server end-to-end: predictions via the gateway == direct predict
+# ----------------------------------------------------------------------
+
+
+def test_server_serves_batched_predictions():
+    predictor = get_fast_predictor(DEFAULT_CONFIG)
+
+    async def run():
+        server = PredictionServer(
+            settings=ServingSettings(max_linger_ms=1.0)
+        )
+        responses = await server.serve_script(
+            [predict_request(i) for i in range(10)]
+        )
+        for i, response in enumerate(responses):
+            assert isinstance(response, PredictResponse)
+            assert response.prediction == predictor.predict(FLEETS[i], NOW)
+        # The burst coalesced: far fewer evaluations than requests.
+        assert server.batcher.batches < 10
+        assert server.batcher.batched_requests == 10
+
+    asyncio.run(run())
+
+
+def test_server_unknown_config_is_unavailable_not_fatal():
+    async def run():
+        server = PredictionServer()
+        [response] = await server.serve_script(
+            [predict_request(0, config="nope")]
+        )
+        assert isinstance(response, Unavailable)
+        assert "nope" in response.message
+
+    asyncio.run(run())
+
+
+def test_resume_scan_matches_direct_predictions():
+    """The scan must select exactly the paused databases whose directly
+    computed prediction starts inside the pre-warm window."""
+    predictor = get_fast_predictor(DEFAULT_CONFIG)
+
+    async def run():
+        server = PredictionServer()
+        for i, logins in enumerate(FLEETS):
+            server.register_database(
+                "EU1", f"db-{i}", logins, paused=(i % 3 != 0)
+            )
+        await server.start()
+        for prewarm_s in (0, 600, 3600, 6 * HOUR):
+            response = await server.submit(
+                ResumeScanRequest(
+                    f"scan-{prewarm_s}", NOW, prewarm_s=prewarm_s,
+                    period_s=30 * 60,
+                )
+            )
+            assert isinstance(response, ResumeScanResponse)
+            expected = tuple(
+                f"db-{i}"
+                for i, logins in enumerate(FLEETS)
+                if i % 3 != 0
+                and not predictor.predict(logins, NOW).is_empty
+                and prewarm_s + NOW
+                <= predictor.predict(logins, NOW).start
+                < prewarm_s + NOW + 30 * 60
+            )
+            assert response.database_ids == expected
+            assert response.scanned == sum(
+                1 for i in range(len(FLEETS)) if i % 3 != 0
+            )
+        await server.stop()
+
+    asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Admission control and load shedding
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = SteppingClock(step=0.0)
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.t += 1.5  # 1.5 tokens refill
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = SteppingClock(step=0.0)
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.t += 1000.0
+        for _ in range(3):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(max_queue_depth=0)
+
+
+def test_admission_controller_reasons():
+    controller = AdmissionController(
+        AdmissionPolicy(max_queue_depth=2, tenant_rate=10.0, tenant_burst=1.0),
+        clock=SteppingClock(step=0.0),
+    )
+    request = predict_request(0)
+    assert controller.admit(request, depth=0) is None
+    assert isinstance(controller.admit(request, depth=2), Overloaded)
+    # Tenant burst of one: the second immediate request is rate limited,
+    # another tenant is not.
+    assert isinstance(controller.admit(request, depth=0), RateLimited)
+    other = predict_request(1, tenant="other")
+    assert controller.admit(other, depth=0) is None
+    expired = predict_request(2, tenant="t3", deadline_ms=0.0)
+    assert isinstance(controller.admit(expired, depth=0), DeadlineExpired)
+    stopping = controller.admit(request, depth=0, stopping=True)
+    assert isinstance(stopping, Shutdown)
+    assert controller.shed == {
+        "queue_full": 1, "rate_limited": 1, "deadline": 1, "shutdown": 1,
+    }
+    assert controller.admitted == 2
+
+
+def test_server_sheds_overload_with_bounded_depth():
+    """With a depth bound of two, a burst of five sheds three as
+    Overloaded; the admitted two are served and depth never exceeds
+    the bound."""
+
+    async def run():
+        server = PredictionServer(
+            settings=ServingSettings(
+                max_queue_depth=2,
+                max_batch_size=100,
+                max_linger_ms=10_000.0,
+            )
+        )
+        await server.start()
+        tasks = [
+            asyncio.get_running_loop().create_task(
+                server.submit(predict_request(i))
+            )
+            for i in range(5)
+        ]
+        responses = await asyncio.gather(*tasks)
+        kinds = sorted(r.kind for r in responses)
+        assert kinds == ["overloaded"] * 3 + ["predict"] * 2
+        assert all(
+            isinstance(r, Overloaded) for r in responses if r.kind != "predict"
+        )
+        assert server.stats.max_depth <= 2
+        assert server.admission.shed["queue_full"] == 3
+        await server.stop()
+
+    asyncio.run(run())
+
+
+def test_server_dispatch_deadline_shed():
+    """A queue wait that consumes the client budget sheds at dispatch."""
+
+    async def run():
+        # Every clock read advances one second, so the measured queue
+        # wait is always >= 1000 ms.
+        server = PredictionServer(clock=SteppingClock(step=1.0))
+        await server.start()
+        response = await server.submit(
+            predict_request(0, deadline_ms=500.0)
+        )
+        assert isinstance(response, DeadlineExpired)
+        assert "in queue" in response.message
+        assert server.admission.shed["deadline"] == 1
+        await server.stop()
+
+    asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown: no future left pending
+# ----------------------------------------------------------------------
+
+
+def test_stop_resolves_every_future():
+    """The regression pin for the shutdown contract: whatever mix of
+    queued, in-flight, and about-to-arrive requests exists at stop()
+    time, every submit() call resolves to a typed response."""
+
+    async def run():
+        server = PredictionServer(
+            settings=ServingSettings(
+                max_batch_size=100, max_linger_ms=10_000.0
+            )
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        tasks = [
+            loop.create_task(server.submit(predict_request(i)))
+            for i in range(8)
+        ]
+        # One event-loop tick: some requests are dispatched into the
+        # stalled batcher, the rest are still queued.
+        await asyncio.sleep(0)
+        await server.stop()
+        responses = await asyncio.wait_for(asyncio.gather(*tasks), timeout=5.0)
+        assert all(
+            isinstance(r, (PredictResponse, Shutdown)) for r in responses
+        )
+        assert server.batcher.pending_requests == 0
+        assert not server._in_flight
+        # Post-stop arrivals are rejected, typed.
+        late = await server.submit(predict_request(99))
+        assert isinstance(late, Shutdown)
+        predicted = [r for r in responses if isinstance(r, PredictResponse)]
+        predictor = get_fast_predictor(DEFAULT_CONFIG)
+        for response in predicted:
+            i = int(response.request_id[1:])
+            assert response.prediction == predictor.predict(FLEETS[i], NOW)
+
+    asyncio.run(run())
+
+
+def test_stop_flushes_metrics_snapshot(tmp_path):
+    out = tmp_path / "serving_metrics.json"
+
+    async def run():
+        server = PredictionServer(
+            settings=ServingSettings(metrics_out=str(out))
+        )
+        await server.serve_script(
+            [predict_request(0), HealthRequest("h")]
+        )
+
+    with observed():
+        asyncio.run(run())
+    snapshot = json.loads(out.read_text())
+    assert "serving.queue.wait_ms" in snapshot
+    assert "serving.batch.size" in snapshot
+    assert snapshot["serving.requests.predict"]["value"] == 1
+    assert snapshot["serving.requests.health"]["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# Fault injection and resilience
+# ----------------------------------------------------------------------
+
+
+def test_handler_fault_exhausts_retries_then_unavailable():
+    plan = FaultPlan.of(FaultSpec("serving.handler", probability=1.0))
+
+    async def run(server):
+        return await server.serve_script([predict_request(0)])
+
+    with chaos(plan, seed=7) as injector:
+        server = PredictionServer(settings=ServingSettings(retry_attempts=3))
+        [response] = asyncio.run(run(server))
+    assert isinstance(response, Unavailable)
+    assert injector.fires["serving.handler"] == 3  # every attempt failed
+    assert injector.events.get("retry.serving.handler") == 2
+    assert server.stats.errors == 1
+
+
+def test_handler_fault_transient_is_retried_away():
+    """One fire then clean: the retry absorbs it, the client never sees it."""
+    plan = FaultPlan.of(
+        FaultSpec("serving.handler", probability=1.0, max_fires=1)
+    )
+
+    async def run(server):
+        return await server.serve_script([predict_request(0)])
+
+    with chaos(plan, seed=7):
+        server = PredictionServer(settings=ServingSettings(retry_attempts=2))
+        [response] = asyncio.run(run(server))
+    assert isinstance(response, PredictResponse)
+    assert server.stats.errors == 0
+
+
+def test_breaker_opens_after_repeated_handler_faults():
+    plan = FaultPlan.of(FaultSpec("serving.handler", probability=1.0))
+
+    async def run(server):
+        await server.start()
+        responses = []
+        for i in range(8):
+            responses.append(await server.submit(predict_request(i)))
+        await server.stop()
+        return responses
+
+    with chaos(plan, seed=1) as injector:
+        server = PredictionServer(
+            settings=ServingSettings(
+                retry_attempts=1,
+                breaker_failure_threshold=3,
+                breaker_recovery_s=10_000.0,
+            )
+        )
+        responses = asyncio.run(run(server))
+    assert all(isinstance(r, Unavailable) for r in responses)
+    assert server._breaker.opens == 1
+    # Once open, evaluations are refused without consulting the backend:
+    # only the first three requests reached the fault point.
+    assert injector.fires["serving.handler"] == 3
+    assert any("breaker open" in r.message for r in responses[3:])
+
+
+def test_queue_full_fault_forces_shed():
+    plan = FaultPlan.of(FaultSpec("serving.queue_full", probability=1.0))
+
+    async def run(server):
+        return await server.serve_script([predict_request(0)])
+
+    with chaos(plan, seed=0):
+        server = PredictionServer()
+        [response] = asyncio.run(run(server))
+    assert isinstance(response, Overloaded)
+    assert server.admission.shed["queue_full"] == 1
+
+
+# ----------------------------------------------------------------------
+# JSON codec and the TCP front end
+# ----------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_predict_round_trip(self):
+        request = decode_request(
+            {
+                "type": "predict",
+                "request_id": "x",
+                "logins": [1, 2, 3],
+                "now": 100,
+                "deadline_ms": 25.5,
+            }
+        )
+        assert isinstance(request, PredictRequest)
+        assert request.logins == (1, 2, 3)
+        assert request.deadline_ms == 25.5
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ServingProtocolError):
+            decode_request({"type": "drop_tables"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServingProtocolError):
+            decode_request(
+                {"type": "health", "request_id": "x", "hack": True}
+            )
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ServingProtocolError):
+            decode_request({"type": "predict", "request_id": "x"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServingProtocolError):
+            decode_request(["predict"])
+
+    def test_encode_error_response(self):
+        doc = encode_response(Overloaded("x", "full"))
+        assert doc == {
+            "type": "overloaded", "request_id": "x", "message": "full",
+        }
+
+
+def test_tcp_front_end_round_trip():
+    predictor = get_fast_predictor(DEFAULT_CONFIG)
+
+    async def run():
+        server = PredictionServer()
+        listener = await serve_tcp(server, port=0)
+        port = listener.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def call(doc):
+            writer.write((json.dumps(doc) + "\n").encode())
+            await writer.drain()
+            return json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+
+        doc = await call(
+            {
+                "type": "predict",
+                "request_id": "t1",
+                "logins": list(FLEETS[0]),
+                "now": NOW,
+            }
+        )
+        assert doc["type"] == "predict" and doc["request_id"] == "t1"
+        direct = predictor.predict(FLEETS[0], NOW)
+        if direct.is_empty:
+            assert doc["prediction"] is None
+        else:
+            assert doc["prediction"]["start"] == direct.start
+            assert doc["prediction"]["end"] == direct.end
+
+        health = await call({"type": "health", "request_id": "t2"})
+        assert health["status"] == "ok"
+
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        invalid = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
+        assert invalid["type"] == "invalid"
+
+        writer.close()
+        await writer.wait_closed()
+        listener.close()
+        await listener.wait_closed()
+        await server.stop()
+
+    asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+
+
+def test_closed_loop_loadgen_completes_everything():
+    async def run():
+        server = PredictionServer()
+        await server.start()
+        report = await closed_loop(
+            server, FLEETS, NOW, clients=4, requests_per_client=5, seed=1
+        )
+        await server.stop()
+        return report
+
+    report = asyncio.run(run())
+    assert report.offered == 20
+    assert report.completed == 20 and report.shed == 0
+    assert len(report.latencies_ms) == 20
+    assert report.throughput_rps > 0
+    assert report.percentile_ms(99.0) >= report.percentile_ms(50.0)
+    summary = report.summary()
+    assert summary["mode"] == "closed" and summary["clients"] == 4
+
+
+def test_open_loop_loadgen_accounts_all_arrivals():
+    async def run():
+        server = PredictionServer(
+            settings=ServingSettings(max_queue_depth=4)
+        )
+        await server.start()
+        report = await open_loop(
+            server, FLEETS, NOW, rate_rps=2000.0, n_requests=40, seed=2
+        )
+        await server.stop()
+        return report
+
+    report = asyncio.run(run())
+    assert report.completed + report.shed == 40
+    assert report.shed_by_kind.get("overloaded", 0) == report.shed
+
+
+def test_fleet_login_arrays_are_sorted_and_windowed():
+    fleets = fleet_login_arrays(n_databases=10, now=NOW, seed=0)
+    assert fleets
+    start = NOW - DEFAULT_CONFIG.history_days * DAY
+    for logins in fleets:
+        assert list(logins) == sorted(logins)
+        assert all(start <= t < NOW for t in logins)
