@@ -93,6 +93,12 @@ class AdmissionPolicy:
             raise ConfigError("max_queue_depth must be at least 1")
         if self.tenant_rate < 0:
             raise ConfigError("tenant_rate must be non-negative")
+        if self.tenant_rate > 0 and self.tenant_burst <= 0:
+            # Fail at configuration time, not inside the first admit()
+            # when the tenant's TokenBucket is lazily constructed.
+            raise ConfigError(
+                "tenant_burst must be positive when tenant_rate is set"
+            )
 
 
 class AdmissionController:

@@ -194,6 +194,26 @@ _REQUEST_TYPES: Dict[str, type] = {
 }
 
 
+def _coerce_logins(value: Any) -> Tuple[int, ...]:
+    """``logins`` from a JSON document as a tuple of ints, or a typed
+    protocol error: a scalar, a string, or non-integer elements must
+    surface as :class:`InvalidRequest`, never reach numpy."""
+    if isinstance(value, (str, bytes)):
+        raise ServingProtocolError("logins must be an array of integers")
+    try:
+        items = tuple(value)
+    except TypeError as exc:
+        raise ServingProtocolError(
+            "logins must be an array of integers"
+        ) from exc
+    for item in items:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise ServingProtocolError(
+                f"logins elements must be integers, got {item!r}"
+            )
+    return items
+
+
 def decode_request(doc: Dict[str, Any]) -> Request:
     """Build a typed request from a decoded JSON object.
 
@@ -216,7 +236,7 @@ def decode_request(doc: Dict[str, Any]) -> Request:
             raise ServingProtocolError(
                 f"unknown field {name!r} for {request_type!r} request"
             )
-        kwargs[name] = tuple(value) if name == "logins" else value
+        kwargs[name] = _coerce_logins(value) if name == "logins" else value
     try:
         return cls(**kwargs)
     except TypeError as exc:

@@ -372,6 +372,13 @@ class PredictionServer:
             response = self._error(request.request_id, f"breaker open: {exc}")
         except ProRPError as exc:
             response = self._error(request.request_id, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the future must resolve
+            # Anything the typed handlers missed (e.g. a ValueError from
+            # numpy coercion of malformed logins) would otherwise strand
+            # this future -- and, via the batcher, every co-batched one.
+            response = self._error(
+                request.request_id, f"internal error: {exc!r}"
+            )
         self._resolve(entry, response)
         if OBS.enabled:
             OBS.metrics.histogram(
@@ -531,7 +538,10 @@ async def handle_connection(
     writer: asyncio.StreamWriter,
 ) -> None:
     """One client connection: newline-delimited JSON requests in,
-    newline-delimited JSON responses out (pipelined, answered in order)."""
+    newline-delimited JSON responses out.  Requests on a single
+    connection are handled serially -- each is answered before the next
+    line is read -- so co-batching happens across connections, not
+    within one."""
     try:
         while True:
             line = await reader.readline()

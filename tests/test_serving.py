@@ -223,6 +223,27 @@ def test_server_unknown_config_is_unavailable_not_fatal():
     asyncio.run(run())
 
 
+def test_malformed_logins_resolve_not_hang():
+    """A request whose logins numpy cannot coerce must resolve as a typed
+    error -- for itself AND for every request that shared its batch --
+    never strand a future (regression: ValueError escaped ``_handle``)."""
+
+    async def run():
+        server = PredictionServer(
+            settings=ServingSettings(max_linger_ms=50.0, max_batch_size=64)
+        )
+        bad = predict_request(0, request_id="bad", logins=("bogus",))
+        good = predict_request(1, request_id="good")
+        responses = await asyncio.wait_for(
+            server.serve_script([bad, good]), timeout=5.0
+        )
+        for response in responses:
+            assert isinstance(response, Unavailable)
+        assert server.depth() == 0
+
+    asyncio.run(run())
+
+
 def test_resume_scan_matches_direct_predictions():
     """The scan must select exactly the paused databases whose directly
     computed prediction starts inside the pre-warm window."""
@@ -290,6 +311,12 @@ class TestTokenBucket:
             TokenBucket(rate=0.0, burst=1.0)
         with pytest.raises(ConfigError):
             AdmissionPolicy(max_queue_depth=0)
+        # A rate-limited policy with a non-positive burst must fail at
+        # configuration time, not at the first admit() for the tenant.
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(tenant_rate=5.0, tenant_burst=0.0)
+        # Burst is irrelevant while rate limiting is disabled.
+        AdmissionPolicy(tenant_rate=0.0, tenant_burst=0.0)
 
 
 def test_admission_controller_reasons():
@@ -546,6 +573,24 @@ class TestCodec:
         with pytest.raises(ServingProtocolError):
             decode_request(["predict"])
 
+    def test_non_iterable_logins_rejected(self):
+        with pytest.raises(ServingProtocolError):
+            decode_request(
+                {"type": "predict", "request_id": "x", "logins": 5, "now": 0}
+            )
+
+    def test_non_integer_logins_rejected(self):
+        for logins in (["bogus"], [1.5], [True], "123"):
+            with pytest.raises(ServingProtocolError):
+                decode_request(
+                    {
+                        "type": "predict",
+                        "request_id": "x",
+                        "logins": logins,
+                        "now": 0,
+                    }
+                )
+
     def test_encode_error_response(self):
         doc = encode_response(Overloaded("x", "full"))
         assert doc == {
@@ -590,6 +635,24 @@ def test_tcp_front_end_round_trip():
         await writer.drain()
         invalid = json.loads(await asyncio.wait_for(reader.readline(), 5.0))
         assert invalid["type"] == "invalid"
+
+        # Malformed logins (non-integer elements, non-iterable) must be
+        # refused at decode time -- not hang the batch (regression).
+        bad = await call(
+            {
+                "type": "predict",
+                "request_id": "t3",
+                "logins": ["bogus"],
+                "now": NOW,
+            }
+        )
+        assert bad["type"] == "invalid"
+        bad = await call(
+            {"type": "predict", "request_id": "t4", "logins": 5, "now": NOW}
+        )
+        assert bad["type"] == "invalid"
+        still_alive = await call({"type": "health", "request_id": "t5"})
+        assert still_alive["status"] == "ok"
 
         writer.close()
         await writer.wait_closed()
