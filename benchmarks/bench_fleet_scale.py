@@ -1,0 +1,294 @@
+"""Fleet-scale benchmark: the columnar engine's scaling curve.
+
+Three sections, all on synthetic :class:`FleetShardSpec` fleets (4-day
+span, 1-day warm-up, final-day evaluation, ``history_days=2`` so the
+fleet turns "old" mid-run and the proactive pre-warm path engages):
+
+* **curve**: simulated-day wall clock and event throughput at 1k and 10k
+  databases (``--quick``), extended to 100k and 1M sharded across the
+  :mod:`repro.parallel` executors at full scale.  The full run is the
+  acceptance proof that a million-database simulated day completes on
+  one box.
+* **engine_comparison**: the same 1k fleet through the per-actor engine
+  vs the lean columnar path -- KPIs must be identical, and the lean path
+  must win on wall clock.
+* **shard_merge**: the 10k fleet sharded serially vs across worker
+  processes -- the merged KPI report and every per-shard report must be
+  byte-identical (the deterministic cross-shard merge contract of
+  docs/fleet_scale.md).
+
+Baselines are committed under ``benchmarks/results/``: the full run
+writes ``BENCH_fleet_scale.json``, the ``--quick`` variant writes
+``BENCH_fleet_scale_quick.json``.  CI re-runs the quick variant to a
+scratch directory and ``benchmarks/check_regression.py`` gates the
+scale-robust ratios against the committed quick baseline.
+
+Run directly for a human-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py          # full
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --quick --out /tmp/fresh.json
+
+or through pytest (quick scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scale.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.config import DEFAULT_CONFIG
+from repro.parallel import SerialExecutor
+from repro.simulation.fleet import simulate_fleet, simulate_fleet_sharded
+from repro.simulation.region import SimulationSettings, simulate_region
+from repro.types import SECONDS_PER_DAY
+from repro.workload.fleetgen import FleetShardSpec
+
+DAY = SECONDS_PER_DAY
+
+#: Where committed baselines live, by repo convention.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_fleet_scale.json"
+QUICK_BASELINE_PATH = RESULTS_DIR / "BENCH_fleet_scale_quick.json"
+
+QUICK_SCALES = (1_000, 10_000)
+FULL_SCALES = (1_000, 10_000, 100_000, 1_000_000)
+#: Scales at or above this run sharded across the parallel executors.
+SHARD_AT = 100_000
+SPAN_DAYS = 4
+SEED = 1
+
+#: Two days of retention against a 4-day span: the fleet's oldest events
+#: leave the retention window mid-run, flipping databases "old"
+#: (predictable) so the evaluation day exercises the pre-warm scan.
+CONFIG = dataclasses.replace(DEFAULT_CONFIG, history_days=2)
+
+
+def _settings(region_databases: int) -> SimulationSettings:
+    # Size every region so the start-time round-robin leaves node
+    # headroom (residents <= 49 of 64): allocation never has to move a
+    # database, keeping the lean bulk placement equivalent to the
+    # sequential one (see docs/fleet_scale.md).
+    return SimulationSettings(
+        eval_start=(SPAN_DAYS - 1) * DAY,
+        eval_end=SPAN_DAYS * DAY,
+        n_nodes=-(-region_databases // 48),
+        node_capacity=64,
+    )
+
+
+def _curve_point(n_databases: int) -> dict:
+    spec = FleetShardSpec(n_databases=n_databases, span_days=SPAN_DAYS, seed=SEED)
+    if n_databases >= SHARD_AT:
+        n_shards = max(16, n_databases // 50_000)
+        workers = min(8, os.cpu_count() or 1)
+        settings = _settings(-(-n_databases // n_shards))
+        start = time.perf_counter()
+        result = simulate_fleet_sharded(
+            spec, "proactive", CONFIG, settings,
+            n_shards=n_shards, workers=workers,
+        )
+        wall_s = time.perf_counter() - start
+        mode = f"sharded x{result.n_shards} ({result.backend})"
+        kpis = result.kpis
+    else:
+        settings = _settings(n_databases)
+        start = time.perf_counter()
+        result = simulate_fleet(spec, "proactive", CONFIG, settings)
+        wall_s = time.perf_counter() - start
+        mode = "single region"
+        kpis = result.kpis
+    logins = kpis.logins.with_resources + kpis.logins.reactive
+    return {
+        "mode": mode,
+        "wall_s": round(wall_s, 3),
+        "events": result.events_dispatched,
+        "events_per_s": round(result.events_dispatched / wall_s),
+        "databases_per_s": round(n_databases / wall_s),
+        "state_mib": round(result.state_nbytes / 2**20, 1),
+        "logins": logins,
+        "prewarms": result.prewarms,
+        "proactive_resumes": kpis.workflows.proactive_resumes,
+        "physical_pauses": kpis.workflows.physical_pauses,
+    }
+
+
+def _engine_comparison(n_databases: int) -> dict:
+    """Per-actor engine vs the lean columnar path on the same fleet."""
+    spec = FleetShardSpec(n_databases=n_databases, span_days=SPAN_DAYS, seed=SEED)
+    fleet = spec.materialize()
+    settings = _settings(n_databases)
+
+    start = time.perf_counter()
+    lean = simulate_fleet(fleet, "proactive", CONFIG, settings)
+    lean_s = time.perf_counter() - start
+
+    traces = fleet.to_traces()
+    actor_settings = dataclasses.replace(settings, engine="actor")
+    start = time.perf_counter()
+    actor = simulate_region(traces, "proactive", CONFIG, actor_settings)
+    actor_s = time.perf_counter() - start
+
+    identical = lean.kpis.to_dict() == actor.kpis().to_dict()
+    return {
+        "n_databases": n_databases,
+        "actor_s": round(actor_s, 3),
+        "lean_s": round(lean_s, 3),
+        "speedup": round(actor_s / lean_s, 2) if lean_s > 0 else 0.0,
+        "kpis_identical": identical,
+    }
+
+
+def _shard_merge(n_databases: int, n_shards: int) -> dict:
+    """Serial vs worker-pool sharding must merge to identical KPIs."""
+    spec = FleetShardSpec(n_databases=n_databases, span_days=SPAN_DAYS, seed=SEED)
+    settings = _settings(-(-n_databases // n_shards))
+
+    start = time.perf_counter()
+    serial = simulate_fleet_sharded(
+        spec, "proactive", CONFIG, settings,
+        n_shards=n_shards, executor=SerialExecutor(),
+    )
+    serial_s = time.perf_counter() - start
+
+    workers = min(4, max(2, os.cpu_count() or 1))
+    start = time.perf_counter()
+    pooled = simulate_fleet_sharded(
+        spec, "proactive", CONFIG, settings,
+        n_shards=n_shards, workers=workers,
+    )
+    pooled_s = time.perf_counter() - start
+
+    deterministic = serial.kpis.to_dict() == pooled.kpis.to_dict() and all(
+        a.to_dict() == b.to_dict()
+        for a, b in zip(serial.shard_kpis, pooled.shard_kpis)
+    )
+    return {
+        "n_databases": n_databases,
+        "n_shards": serial.n_shards,
+        "serial_s": round(serial_s, 3),
+        "pooled_s": round(pooled_s, 3),
+        "pooled_backend": pooled.backend,
+        "deterministic": deterministic,
+    }
+
+
+def run_bench(quick: bool = False) -> dict:
+    scales = QUICK_SCALES if quick else FULL_SCALES
+    curve = {}
+    for n_databases in scales:
+        curve[str(n_databases)] = _curve_point(n_databases)
+
+    small, large = str(scales[0]), str(scales[1])
+    throughput_ratio = (
+        curve[large]["events_per_s"] / curve[small]["events_per_s"]
+        if curve[small]["events_per_s"] > 0
+        else 0.0
+    )
+    return {
+        "quick": quick,
+        "span_days": SPAN_DAYS,
+        "history_days": CONFIG.history_days,
+        "curve": curve,
+        "scaling": {
+            # Per-event throughput must not collapse going up a decade.
+            "throughput_ratio_10k_vs_1k": round(throughput_ratio, 3),
+        },
+        "engine_comparison": _engine_comparison(1_000),
+        "shard_merge": _shard_merge(10_000, n_shards=4),
+    }
+
+
+def _check(result: dict) -> None:
+    for n_databases, point in result["curve"].items():
+        assert point["events"] > 0 and point["logins"] > 0, (
+            f"curve point {n_databases} simulated nothing"
+        )
+        assert point["prewarms"] > 0 and point["proactive_resumes"] > 0, (
+            f"curve point {n_databases} never exercised the pre-warm path"
+        )
+    comparison = result["engine_comparison"]
+    assert comparison["kpis_identical"], (
+        "lean columnar KPIs diverged from the per-actor engine"
+    )
+    merge = result["shard_merge"]
+    assert merge["deterministic"], (
+        "sharded KPI merge is not deterministic across executors"
+    )
+    if not result["quick"]:
+        million = result["curve"]["1000000"]
+        assert million["events"] > 1_000_000, (
+            "the 1M-database day dispatched suspiciously few events"
+        )
+        # Wall-clock is asserted at full scale only.
+        assert comparison["speedup"] > 1.0, (
+            f"lean path lost to the actor engine "
+            f"({comparison['lean_s']}s vs {comparison['actor_s']}s)"
+        )
+
+
+def _report(result: dict) -> str:
+    lines = [
+        f"Fleet scaling curve, span {result['span_days']}d, "
+        f"history {result['history_days']}d"
+        + (" (quick)" if result["quick"] else "")
+    ]
+    for n_databases, point in result["curve"].items():
+        lines.append(
+            f"  {int(n_databases):>9,} dbs [{point['mode']}]: "
+            f"{point['wall_s']}s wall, {point['events']:,} events "
+            f"({point['events_per_s']:,}/s), {point['state_mib']} MiB state, "
+            f"{point['prewarms']:,} prewarms"
+        )
+    comparison = result["engine_comparison"]
+    lines.append(
+        f"  actor vs lean at {comparison['n_databases']:,} dbs: "
+        f"{comparison['actor_s']}s vs {comparison['lean_s']}s "
+        f"({comparison['speedup']}x), KPIs identical: "
+        f"{comparison['kpis_identical']}"
+    )
+    merge = result["shard_merge"]
+    lines.append(
+        f"  shard merge at {merge['n_databases']:,} dbs x{merge['n_shards']}: "
+        f"serial {merge['serial_s']}s vs {merge['pooled_backend']} "
+        f"{merge['pooled_s']}s, deterministic: {merge['deterministic']}"
+    )
+    lines.append(
+        f"  throughput ratio 10k/1k: "
+        f"{result['scaling']['throughput_ratio_10k_vs_1k']}"
+    )
+    return "\n".join(lines)
+
+
+def bench_fleet_scale(record_table) -> None:
+    """Pytest entry: quick scale, deterministic assertions only."""
+    result = run_bench(quick=True)
+    record_table("fleet_scale", _report(result))
+    _check(result)
+
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    else:
+        out = QUICK_BASELINE_PATH if quick else BASELINE_PATH
+    result = run_bench(quick=quick)
+    print(_report(result))
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    _check(result)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -31,11 +31,21 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 DEFAULT_TOLERANCE = 0.25
 
 
+class MissingMetricError(KeyError):
+    """A check referenced a key the results document does not contain."""
+
+
 def lookup(doc: dict, dotted: str) -> float:
     """Resolve ``"closed_loop.8.p99_speedup"`` against a nested dict."""
     node = doc
     for part in dotted.split("."):
-        node = node[part]
+        try:
+            node = node[part]
+        except (KeyError, TypeError):
+            raise MissingMetricError(
+                f"metric {dotted!r} not found (missing at {part!r}) -- "
+                f"was the benchmark re-run with an older schema?"
+            ) from None
     return float(node)
 
 
@@ -115,6 +125,34 @@ CHECKS: Tuple[object, ...] = (
         value="overload.max_depth",
         limit="overload.queue_bound",
     ),
+    RatioCheck(
+        "BENCH_fleet_scale_quick.json",
+        "fleet scaling: per-event throughput holds 1k -> 10k",
+        ("scaling.throughput_ratio_10k_vs_1k",),
+    ),
+    RatioCheck(
+        "BENCH_fleet_scale_quick.json",
+        "lean columnar engine beats the per-actor engine",
+        ("engine_comparison.speedup",),
+    ),
+    BoundCheck(
+        "BENCH_fleet_scale_quick.json",
+        "lean columnar KPIs identical to the actor engine",
+        value="engine_comparison.kpis_identical",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_fleet_scale_quick.json",
+        "cross-shard KPI merge is executor-deterministic",
+        value="shard_merge.deterministic",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_fleet_scale_quick.json",
+        "fleet curve exercises the pre-warm path",
+        value="curve.10000.prewarms",
+        positive=True,
+    ),
 )
 
 
@@ -122,6 +160,9 @@ CHECKS: Tuple[object, ...] = (
 class Outcome:
     passed: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
+    #: ``(check name, file, "pass"/"FAIL", one-line detail)`` per check,
+    #: in declaration order -- the ``--summary-md`` table rows.
+    rows: List[Tuple[str, str, str, str]] = field(default_factory=list)
 
 
 def run_checks(
@@ -143,14 +184,51 @@ def run_checks(
                 json.loads(fresh_path.read_text()),
             )
         baseline, fresh = docs[check.file]
-        failures = check.run(baseline, fresh, tolerance)
+        try:
+            failures = check.run(baseline, fresh, tolerance)
+        except MissingMetricError as exc:
+            # A benchmark schema drifted away from its committed baseline:
+            # fail loudly with the offending key instead of a bare
+            # KeyError traceback.
+            failures = [str(exc.args[0])]
         if failures:
             outcome.failed.append(
                 f"{check.name} [{check.file}]:\n    " + "\n    ".join(failures)
             )
+            outcome.rows.append(
+                (check.name, check.file, "FAIL", "; ".join(failures))
+            )
         else:
             outcome.passed.append(check.name)
+            outcome.rows.append((check.name, check.file, "pass", ""))
     return outcome
+
+
+def summary_markdown(outcome: Outcome, tolerance: float) -> str:
+    """A GitHub-flavoured markdown table for ``$GITHUB_STEP_SUMMARY``."""
+    lines = [
+        "## Benchmark regression checks",
+        "",
+        f"Tolerance: {tolerance:.0%} on ratio metrics.",
+        "",
+        "| Check | Results file | Status | Detail |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, file, status, detail in outcome.rows:
+        icon = ":white_check_mark:" if status == "pass" else ":x:"
+        detail = detail.replace("|", "\\|").replace("\n", " ")
+        lines.append(f"| {name} | `{file}` | {icon} {status} | {detail} |")
+    for failure in outcome.failed:
+        if not any(failure.startswith(row[0]) for row in outcome.rows):
+            # Missing-file failures never became table rows.
+            lines.append(f"| (setup) | | :x: FAIL | {failure} |")
+    lines.append("")
+    lines.append(
+        f"**{len(outcome.failed)} regression(s)**"
+        if outcome.failed
+        else f"**All {len(outcome.passed)} checks passed.**"
+    )
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: List[str]) -> int:
@@ -173,9 +251,19 @@ def main(argv: List[str]) -> int:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional regression on ratio metrics (default 0.25)",
     )
+    parser.add_argument(
+        "--summary-md",
+        type=Path,
+        default=None,
+        help="also append a markdown results table to this file "
+        "(point it at $GITHUB_STEP_SUMMARY in CI)",
+    )
     args = parser.parse_args(argv)
 
     outcome = run_checks(args.baseline_dir, args.fresh_dir, args.tolerance)
+    if args.summary_md is not None:
+        with args.summary_md.open("a", encoding="utf-8") as handle:
+            handle.write(summary_markdown(outcome, args.tolerance))
     for name in outcome.passed:
         print(f"ok: {name}")
     for failure in outcome.failed:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.node import Node
 from repro.errors import CapacityError
@@ -80,6 +80,34 @@ class Cluster:
         node.place(database_id)
         self._by_database[database_id] = node
         return node
+
+    def place_fleet(self, database_ids: Sequence[str]) -> List[str]:
+        """Place many databases on an **empty** cluster in one pass.
+
+        Placing sequentially from an empty cluster, :meth:`place` is
+        provably round-robin: after ``m`` placements the resident counts
+        are balanced with the first ``m % n`` nodes holding one extra, so
+        ``min`` (which breaks ties by list order) always picks
+        ``nodes[m % n]``.  This method exploits that to skip the
+        ``min``-over-nodes scan per database -- O(1) instead of O(n) each,
+        which is what makes million-database regions placeable -- while
+        producing byte-identical placements.  Returns the node id chosen
+        for each database, in input order.
+        """
+        if self._by_database:
+            raise CapacityError(
+                "place_fleet requires an empty cluster (its round-robin "
+                "shortcut is only equivalent to sequential place() from "
+                "an empty state)"
+            )
+        n = len(self.nodes)
+        node_ids: List[str] = []
+        for i, database_id in enumerate(database_ids):
+            node = self.nodes[i % n]
+            node.place(database_id)
+            self._by_database[database_id] = node
+            node_ids.append(node.node_id)
+        return node_ids
 
     def node_of(self, database_id: str) -> Node:
         try:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import SimulationError
 from repro.observability.runtime import OBS
@@ -93,6 +93,33 @@ _EDGES = {
         LifecycleState.LOGICALLY_PAUSED,
     ),
 }
+
+
+#: Stable integer codes for each lifecycle state, used by the columnar
+#: engine's ``int8`` phase column (:mod:`repro.simulation.columnar`).  The
+#: codes are part of the struct-of-arrays layout contract documented in
+#: ``docs/fleet_scale.md``; do not renumber.
+STATE_CODES: Dict[LifecycleState, int] = {
+    LifecycleState.RESUMED: 0,
+    LifecycleState.LOGICALLY_PAUSED: 1,
+    LifecycleState.PHYSICALLY_PAUSED: 2,
+    LifecycleState.RESUMING: 3,
+}
+
+#: Inverse of :data:`STATE_CODES`: ``STATE_FROM_CODE[code]`` is the state.
+STATE_FROM_CODE: Tuple[LifecycleState, ...] = tuple(
+    state for state, _ in sorted(STATE_CODES.items(), key=lambda item: item[1])
+)
+
+
+def transition_edge_codes() -> Dict[LifecycleTransition, Tuple[int, int]]:
+    """The Figure 4 edge table in integer form: transition ->
+    (from_code, to_code).  The columnar engine validates its array-based
+    transitions against exactly the same edges as :class:`Lifecycle`."""
+    return {
+        transition: (STATE_CODES[src], STATE_CODES[dst])
+        for transition, (src, dst) in _EDGES.items()
+    }
 
 
 @dataclass(frozen=True)

@@ -11,9 +11,22 @@
   (Algorithm 5) together and produces KPI reports.
 * :mod:`repro.simulation.results` -- accounting of logins, idle time,
   workflow counts, and timelines.
+* :mod:`repro.simulation.columnar` -- the struct-of-arrays engine: the
+  per-actor FSM transposed into flat numpy state, byte-identical to the
+  actor path (``simulate_region`` routes through it by default).
+* :mod:`repro.simulation.fleet` -- million-database scale: lean
+  array-backed stores over the columnar engine plus deterministic
+  region sharding across the parallel executors.
 """
 
 from repro.simulation.engine import EventQueue, Timer
+from repro.simulation.fleet import (
+    FleetSimulationResult,
+    ShardedFleetResult,
+    merge_kpi_reports,
+    simulate_fleet,
+    simulate_fleet_sharded,
+)
 from repro.simulation.region import (
     RegionSimulationResult,
     SimulationSettings,
@@ -26,4 +39,9 @@ __all__ = [
     "simulate_region",
     "SimulationSettings",
     "RegionSimulationResult",
+    "simulate_fleet",
+    "simulate_fleet_sharded",
+    "merge_kpi_reports",
+    "FleetSimulationResult",
+    "ShardedFleetResult",
 ]

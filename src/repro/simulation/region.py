@@ -83,10 +83,20 @@ class SimulationSettings:
     #: "If any component of ProRP goes down, the system must default to
     #: the reactive policy until the failed component comes up."
     prorp_outages: tuple = ()
+    #: Simulation engine: "columnar" (struct-of-arrays FSM state, the
+    #: default; see docs/fleet_scale.md) or "actor" (one Python object per
+    #: database).  Byte-identical results either way -- the equivalence
+    #: suite proves it -- so this is a representation knob, not a
+    #: semantics knob.  Latency measurement always runs on the actors.
+    engine: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.eval_end <= self.eval_start:
             raise SimulationError("eval_end must be after eval_start")
+        if self.engine not in ("columnar", "actor"):
+            raise SimulationError(
+                f"unknown engine {self.engine!r} (choose 'columnar' or 'actor')"
+            )
         if self.warmup_s < 0:
             raise SimulationError("warmup_s must be non-negative")
         if self.maintenance_per_week < 0:
@@ -261,6 +271,14 @@ def _simulate_region(
         return _simulate_optimal(traces, config, settings)
     if policy is PolicyKind.PROVISIONED:
         return _simulate_provisioned(traces, config, settings)
+
+    if settings.engine == "columnar" and not settings.measure_prediction_latency:
+        # Struct-of-arrays engine: byte-identical replay of the actor path
+        # (the latency-measuring mode stays on the actors, whose per-call
+        # timing hook the overhead experiment depends on).
+        from repro.simulation.columnar import simulate_region_columnar
+
+        return simulate_region_columnar(traces, policy, config, settings)
 
     queue = EventQueue(start=settings.sim_start)
     cluster = Cluster(
