@@ -5,22 +5,16 @@ prediction (the paper's stored procedure); the vectorised implementation
 answers the same grid with two searchsorted passes.  The ablation quantifies
 the speed-up that makes fleet-scale simulation practical.
 
-The observability benches bound the cost of the live tracing layer on this
-hot path: disabled instrumentation (the default) must stay under 2% of a
-prediction, and the enabled metrics-only path is recorded alongside the
-registry's own latency percentiles in
-``benchmarks/results/BENCH_observability.json``.
+``bench_reference_predictor_observed`` times the metrics-enabled path; the
+no-op overhead bound for *disabled* instrumentation lives in
+``benchmarks/bench_observability.py`` (the single writer of
+``benchmarks/results/BENCH_observability.json``).
 """
-
-import json
-import time
-
-import pytest
 
 from repro.config import ProRPConfig
 from repro.core.fast_predictor import FastPredictor
 from repro.core.predictor import predict_next_activity
-from repro.observability import NULL_TRACER, OBS, observed
+from repro.observability import NULL_TRACER, observed
 from repro.storage.history import HistoryStore
 from repro.types import EventType, SECONDS_PER_DAY, SECONDS_PER_HOUR
 
@@ -76,87 +70,3 @@ def bench_reference_predictor_observed(benchmark):
     with observed(tracer=NULL_TRACER):
         result = benchmark(predict_next_activity, store, config, now)
     assert not result.is_empty
-
-
-def _timed_loop(fn, reps):
-    start = time.perf_counter()
-    for _ in range(reps):
-        fn()
-    return (time.perf_counter() - start) / reps
-
-
-def _guard_cost_s(reps: int = 1_000_000) -> float:
-    """Per-evaluation cost of the disabled-path guard (``if OBS.enabled``).
-
-    Measured as the delta between a loop over the guard and the same empty
-    loop, so the loop machinery (which the real call sites do not add) is
-    excluded.  The guard itself is what the instrumented hot paths pay when
-    observability is off: a global load, an attribute load, and a branch.
-    """
-    assert not OBS.enabled
-    hits = 0
-    start = time.perf_counter()
-    for _ in range(reps):
-        if OBS.enabled:
-            hits += 1  # pragma: no cover - observability is off
-    guarded = time.perf_counter() - start
-    assert hits == 0
-    start = time.perf_counter()
-    for _ in range(reps):
-        pass
-    empty = time.perf_counter() - start
-    return max(0.0, guarded - empty) / reps
-
-
-def bench_observability_noop_overhead(results_dir):
-    """Disabled observability must cost <2% of a reference prediction.
-
-    The guard sites on the path are counted by running one prediction with
-    metrics enabled (every counter on this path increments by one per guard
-    evaluation), the per-guard cost is measured with a tight loop, and the
-    product is compared against the measured prediction time.  Real
-    enabled/disabled timings and the registry percentiles land in
-    ``BENCH_observability.json`` as the committed baseline.
-    """
-    config = ProRPConfig()
-    store, _ = _daily_history()
-    now = 28 * DAY
-    reps = 50
-
-    assert not OBS.enabled  # the repo-wide default
-    disabled_s = _timed_loop(lambda: predict_next_activity(store, config, now), reps)
-
-    with observed(tracer=NULL_TRACER):
-        enabled_s = _timed_loop(
-            lambda: predict_next_activity(store, config, now), reps
-        )
-        registry = OBS.metrics
-        # Guard evaluations per prediction: each of these counters sits
-        # behind exactly one `if OBS.enabled` check that fired once per
-        # unit increment.
-        guard_evals = (
-            registry.counter("predictor.reference.calls").value
-            + registry.counter("history.range_queries").value
-            + registry.counter("btree.range_scans").value
-        ) / reps
-        latency = registry.histogram("predictor.reference.latency_ms").snapshot()
-
-    guard_s = _guard_cost_s()
-    overhead_fraction = guard_evals * guard_s / disabled_s
-    baseline = {
-        "reps": reps,
-        "disabled_us_per_prediction": round(disabled_s * 1e6, 3),
-        "enabled_metrics_us_per_prediction": round(enabled_s * 1e6, 3),
-        "guard_evals_per_prediction": round(guard_evals, 1),
-        "guard_cost_ns": round(guard_s * 1e9, 3),
-        "noop_overhead_fraction": round(overhead_fraction, 6),
-        "predictor_reference_latency_ms": latency,
-    }
-    path = results_dir / "BENCH_observability.json"
-    path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
-    print()
-    print(json.dumps(baseline, indent=2))
-    assert overhead_fraction < 0.02, (
-        f"disabled observability costs {overhead_fraction:.2%} of a "
-        f"reference prediction (limit 2%)"
-    )

@@ -1,0 +1,183 @@
+"""Line-format validator for the gateway's OpenMetrics exposition.
+
+CI runs ``repro serve --once --openmetrics-out /tmp/metrics.om`` and then
+this script; it fails (exit 1) when the document violates the exposition
+contract promised by ``repro.observability.openmetrics``:
+
+* every line is either a ``# TYPE <family> <counter|gauge|histogram>``
+  comment, a sample line (``name{labels} value`` with an optional
+  ``# {trace_id="..."} value`` exemplar on histogram buckets), or the
+  final ``# EOF`` terminator -- which must be the last line;
+* a family's ``# TYPE`` line appears exactly once and precedes all of
+  its samples; counter samples end in ``_total``, histogram samples in
+  ``_bucket``/``_sum``/``_count``;
+* histogram buckets are cumulative (non-decreasing as ``le`` grows),
+  end in an ``le="+Inf"`` bucket, and the ``+Inf`` count equals the
+  family's ``_count`` sample for the same label set.
+
+Usage::
+
+    python benchmarks/check_openmetrics.py /tmp/metrics.om
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_TYPE_LINE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$"
+)
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: # \{(?P<exemplar>[^{}]*)\} (?P<exvalue>[^ ]+))?$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+#: sample-name suffixes per family type; "" means the bare family name.
+_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+}
+
+
+def _split_labels(text: str) -> Optional[List[Tuple[str, str]]]:
+    """Split ``k1="v1",k2="v2"`` respecting escaped quotes; None if bad."""
+    pairs = []
+    for chunk in re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"', text):
+        key, _, value = chunk.partition("=")
+        pairs.append((key, value[1:-1]))
+    # Reassembling must consume the whole text (catches stray commas,
+    # bare values, unquoted labels).
+    if ",".join(f'{k}="{v}"' for k, v in pairs) != text:
+        return None
+    if not all(_LABEL_PAIR.match(f'{k}="{v}"') for k, v in pairs):
+        return None
+    return pairs
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Optional[str]:
+    """Resolve a sample name to its declared family, if any."""
+    for fam, ftype in types.items():
+        for suffix in _SUFFIXES[ftype]:
+            if name == fam + suffix:
+                return fam
+    return None
+
+
+def validate(text: str) -> List[str]:
+    errors: List[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return ["empty document"]
+    if lines[-1] != "# EOF":
+        errors.append("document does not end with '# EOF'")
+    types: Dict[str, str] = {}
+    # (family, frozen non-le labels) -> [(le, cumulative count)]
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[str, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for i, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if i != len(lines):
+                errors.append(f"line {i}: '# EOF' before end of document")
+            continue
+        m = _TYPE_LINE.match(line)
+        if m:
+            fam = m.group(1)
+            if fam in types:
+                errors.append(f"line {i}: duplicate '# TYPE' for {fam!r}")
+            types[fam] = m.group(2)
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {i}: unrecognised comment {line!r}")
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            errors.append(f"line {i}: malformed sample line {line!r}")
+            continue
+        name = m.group("name")
+        fam = _family_of(name, types)
+        if fam is None:
+            errors.append(
+                f"line {i}: sample {name!r} has no preceding '# TYPE' "
+                f"(or wrong suffix for its family type)"
+            )
+            continue
+        labels_text = m.group("labels")
+        pairs = _split_labels(labels_text) if labels_text is not None else []
+        if pairs is None:
+            errors.append(f"line {i}: malformed labels {labels_text!r}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"line {i}: non-numeric value {m.group('value')!r}")
+            continue
+        if m.group("exemplar") is not None:
+            if not name.endswith("_bucket"):
+                errors.append(f"line {i}: exemplar on non-bucket sample {name!r}")
+            elif _split_labels(m.group("exemplar")) is None:
+                errors.append(
+                    f"line {i}: malformed exemplar labels "
+                    f"{m.group('exemplar')!r}"
+                )
+        if types[fam] == "histogram":
+            le = dict(pairs).get("le")
+            base = tuple(sorted(p for p in pairs if p[0] != "le"))
+            if name.endswith("_bucket"):
+                if le is None:
+                    errors.append(f"line {i}: bucket sample without 'le' label")
+                else:
+                    buckets.setdefault((fam, base), []).append((le, value))
+            elif name.endswith("_count"):
+                counts[(fam, base)] = value
+    for (fam, base), series in buckets.items():
+        where = f"histogram {fam!r}" + (f" {dict(base)}" if base else "")
+        if series[-1][0] != "+Inf":
+            errors.append(f"{where}: buckets do not end with le=\"+Inf\"")
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"{where}: cumulative bucket counts decrease")
+        expected = counts.get((fam, base))
+        if expected is not None and series[-1][0] == "+Inf":
+            if series[-1][1] != expected:
+                errors.append(
+                    f"{where}: +Inf bucket {series[-1][1]} != _count {expected}"
+                )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_openmetrics.py <exposition-file>")
+        return 2
+    path = Path(argv[0])
+    if not path.is_file():
+        print(f"FAIL: no such file: {path}")
+        return 1
+    text = path.read_text(encoding="utf-8")
+    errors = validate(text)
+    n_samples = sum(
+        1
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    )
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}")
+        print(f"{len(errors)} OpenMetrics format violation(s)")
+        return 1
+    n_families = text.count("# TYPE ")
+    print(f"ok: {n_families} families, {n_samples} samples, valid OpenMetrics")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -153,6 +153,33 @@ CHECKS: Tuple[object, ...] = (
         value="curve.10000.prewarms",
         positive=True,
     ),
+    BoundCheck(
+        "BENCH_observability_quick.json",
+        "disabled instrumentation guard stays a no-op",
+        value="noop.noop_overhead_fraction",
+        limit="noop.noop_overhead_limit",
+    ),
+    BoundCheck(
+        "BENCH_observability_quick.json",
+        "windowed SLO streams reconcile with batch KPIs",
+        value="slo.equivalence_ok",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_observability_quick.json",
+        "armed monitor evaluates window boundaries",
+        value="slo.slo_evaluations",
+        positive=True,
+    ),
+    # The armed-vs-disarmed wall-clock ratio is asserted by the benchmark
+    # itself on full (committed-baseline) runs only: a 2-rep quick run on
+    # a shared CI runner is too noisy to gate a ~1% fraction.
+    BoundCheck(
+        "BENCH_observability_quick.json",
+        "chaos alert fires and clears; streaming == batch",
+        value="alert_roundtrip.ok",
+        positive=True,
+    ),
 )
 
 

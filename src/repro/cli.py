@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless QoS is non-increasing as the fault "
         "rate grows (0.5pp slack per step for sampling noise)",
     )
+    chaos.add_argument(
+        "--slo-scenario",
+        action="store_true",
+        help="run the SLO alerting scenario instead of the rate sweep: "
+        "a scheduled predictor outage + latency spike must fire and "
+        "clear the stock alerts, and the streaming KPI series must "
+        "reconcile with the offline telemetry (docs/observability.md)",
+    )
 
     digest = sub.add_parser(
         "digest", help="full operator report: all policies + drill-downs"
@@ -127,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     _common_fleet_args(observe)
     _policy_args(observe)
     _observability_args(observe)
+    observe.add_argument(
+        "--top",
+        action="store_true",
+        help="watch the run with the stock SLO rule set and print the "
+        "'observe top' dashboard (windowed sparklines + alert ledger) "
+        "instead of the flat metrics snapshot",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -179,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tenant token-bucket rate in requests/s (0 = unlimited)",
     )
     _observability_args(serve)
+    serve.add_argument(
+        "--openmetrics-out", metavar="PATH", default=None,
+        help="with --once: issue a 'metrics' request after the scripted "
+        "batch and write its OpenMetrics body to PATH (implies "
+        "observability on)",
+    )
     return parser
 
 
@@ -285,12 +306,36 @@ def cmd_observe(args: argparse.Namespace) -> int:
 
     ``main`` has already enabled observability; the exports happen there
     so they also cover ``simulate``/``figures``/``tune`` with the flags.
+    With ``--top`` the run is additionally watched by the stock SLO rule
+    set and summarised as the ``observe top`` dashboard.
     """
+    monitor = ledger = None
+    if args.top:
+        from repro.observability import (
+            AlertLedger,
+            SloMonitor,
+            simulation_slos,
+        )
+
+        ledger = AlertLedger()
+        monitor = SloMonitor(OBS.metrics, simulation_slos(), ledger=ledger)
+        OBS.slo = monitor
     status = cmd_simulate(args)
     print()
-    print(OBS.metrics.format_snapshot(
-        title=f"{args.region} {args.policy} live metrics"
-    ))
+    if monitor is not None:
+        from repro.observability import render_top
+
+        monitor.drain(_scale(args).settings().eval_end)
+        OBS.slo = None
+        print(render_top(
+            OBS.metrics,
+            ledger=ledger,
+            title=f"{args.region} {args.policy} observe top",
+        ))
+    else:
+        print(OBS.metrics.format_snapshot(
+            title=f"{args.region} {args.policy} live metrics"
+        ))
     spans = OBS.tracer.spans
     if spans:
         total_ms = max(s.start_ns + s.duration_ns for s in spans) / 1e6
@@ -351,8 +396,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         DEFAULT_FAULT_RATES,
         DEFAULT_POINTS,
         run_chaos,
+        run_slo_chaos,
     )
     from repro.faults import FaultPlan
+
+    if args.slo_scenario:
+        result = run_slo_chaos(
+            scale=_scale(args), preset=RegionPreset(args.region)
+        )
+        print(result.table())
+        if not result.ok:
+            print("FAIL: SLO chaos scenario did not round-trip")
+            return 1
+        print("OK: alerts fired and cleared; streaming == batch totals")
+        return 0
 
     plan = FaultPlan.load(args.plan) if args.plan else None
     result = run_chaos(
@@ -421,6 +478,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serving import (
         HealthRequest,
+        MetricsRequest,
         PredictionServer,
         PredictRequest,
         ResumeScanRequest,
@@ -446,7 +504,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     def build_server() -> PredictionServer:
-        server = PredictionServer(settings=settings)
+        slo_monitor = None
+        if OBS.enabled:
+            from repro.observability import SloMonitor, serving_slos
+
+            slo_monitor = SloMonitor(OBS.metrics, serving_slos())
+        server = PredictionServer(settings=settings, slo_monitor=slo_monitor)
         for i, logins in enumerate(fleets):
             server.register_database(
                 args.region, f"db-{i}", logins, paused=True
@@ -478,9 +541,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         requests.append(ResumeScanRequest("scan-0", now, region=args.region))
         requests.append(HealthRequest("health-0"))
+        if args.openmetrics_out:
+            requests.append(MetricsRequest("metrics-0"))
         responses = await server.serve_script(requests)
         for response in responses:
-            print(json.dumps(encode_response(response)))
+            doc = encode_response(response)
+            if args.openmetrics_out and doc.get("type") == "metrics":
+                with open(args.openmetrics_out, "w", encoding="utf-8") as fh:
+                    fh.write(doc["body"])
+                print(
+                    f"wrote {doc['metric_count']} metric families to "
+                    f"{args.openmetrics_out}"
+                )
+                continue
+            print(json.dumps(doc))
         print(f"served {server.stats.served} requests; shut down cleanly")
         return 0
 
@@ -577,8 +651,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     chrome_trace = getattr(args, "chrome_trace", None)
+    openmetrics_out = getattr(args, "openmetrics_out", None)
     observing = args.command == "observe" or any(
-        (trace_out, metrics_out, chrome_trace)
+        (trace_out, metrics_out, chrome_trace, openmetrics_out)
     )
     if not observing:
         return _dispatch(args)

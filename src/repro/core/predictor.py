@@ -60,7 +60,7 @@ def predict_next_activity(
     if not OBS.enabled:
         return _predict_next_activity(history, config, now)
     started = _time.perf_counter()
-    with OBS.tracer.span("predictor.reference", t=now):
+    with OBS.tracer.span("predictor.reference", t=now) as span:
         prediction = _predict_next_activity(history, config, now)
     elapsed_ms = (_time.perf_counter() - started) * 1000.0
     if FAULTS.enabled:
@@ -68,6 +68,17 @@ def predict_next_activity(
     OBS.metrics.histogram(
         "predictor.reference.latency_ms", buckets=LATENCY_BUCKETS_MS
     ).observe(elapsed_ms)
+    # Windowed view on the simulated clock so the predictor-p99 SLO can
+    # burn against it; the exemplar is the span id of the window's worst
+    # call (falls back to the sim timestamp under the null tracer).
+    span_id = getattr(span, "span_id", None)
+    OBS.metrics.histogram_series(
+        "predictor.latency_ms.window", buckets=LATENCY_BUCKETS_MS
+    ).observe(
+        now,
+        elapsed_ms,
+        exemplar=f"span:{span_id}" if span_id is not None else f"t:{now}",
+    )
     OBS.metrics.counter("predictor.reference.calls").inc()
     return prediction
 

@@ -15,7 +15,7 @@ and multiprocess executors therefore produce identical rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
@@ -27,9 +27,20 @@ from repro.experiments.common import (
     region_fleet,
     sweep_map,
 )
-from repro.faults import FaultPlan, chaos
+from repro.faults import FaultPlan, FaultSpec, chaos
+from repro.observability import (
+    NULL_TRACER,
+    AlertLedger,
+    MetricsRegistry,
+    SloMonitor,
+    simulation_slos,
+)
+from repro.observability.runtime import observed
 from repro.parallel import SweepExecutor
 from repro.simulation.region import simulate_region
+from repro.telemetry.emitter import emit_simulation_telemetry
+from repro.telemetry.offline import evaluate_offline_kpis
+from repro.telemetry.store import TelemetryStore
 from repro.workload.regions import RegionPreset
 
 #: The x-axis of the default chaos sweep: per-consultation fault
@@ -153,3 +164,234 @@ def run_chaos(
         _chaos_worker, (preset.value, scale), items, executor, workers
     )
     return ChaosResult(rows)
+
+
+# -- SLO alerting scenario ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloChaosResult:
+    """Outcome of :func:`run_slo_chaos`: the alert ledger round trip and
+    the streaming-vs-batch KPI reconciliation."""
+
+    fast_window_s: int
+    fault_window: Tuple[int, int]
+    latency_window: Tuple[int, int]
+    unavailable_fired_at: Optional[float]
+    unavailable_cleared_at: Optional[float]
+    latency_fired_at: Optional[float]
+    latency_cleared_at: Optional[float]
+    alert_events: List[Dict[str, object]] = field(default_factory=list)
+    #: Streaming totals summed from the windowed ``slo.*`` series.
+    streaming: Dict[str, float] = field(default_factory=dict)
+    #: The same quantities from the simulator's ``KpiReport``.
+    report: Dict[str, float] = field(default_factory=dict)
+    #: Offline recomputation from the emitted telemetry stream.
+    offline: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def alert_roundtrip_ok(self) -> bool:
+        """The breaker alert fired within one fast window of the fault
+        window (which is where the breaker can open) and later cleared;
+        the latency alert did the same for its own window."""
+        a_start, a_end = self.fault_window
+        b_start, b_end = self.latency_window
+        checks = [
+            self.unavailable_fired_at is not None
+            and a_start <= self.unavailable_fired_at
+            <= a_end + self.fast_window_s,
+            self.unavailable_cleared_at is not None
+            and self.unavailable_cleared_at > self.unavailable_fired_at,
+            self.latency_fired_at is not None
+            and b_start <= self.latency_fired_at <= b_end + self.fast_window_s,
+            self.latency_cleared_at is not None
+            and self.latency_cleared_at > self.latency_fired_at,
+        ]
+        return all(checks)
+
+    @property
+    def equivalence_ok(self) -> bool:
+        """Summed windowed series == KpiReport == offline telemetry."""
+        s, r, o = self.streaming, self.report, self.offline
+        return (
+            s["logins"] == r["logins"] == o["logins"]
+            and s["reactive"] == r["reactive"]
+            and s["reactive_resume"] == r["reactive_resumes"]
+            == o["reactive_resumes"]
+            and s["proactive_resume"] == r["proactive_resumes"]
+            and s["used_s"] == r["used_s"]
+            and s["unavailable_s"] == r["unavailable_s"]
+            and s["idle_s"] == r["idle_s"]
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.alert_roundtrip_ok and self.equivalence_ok
+
+    def table(self) -> str:
+        rows = [
+            [
+                event["name"],
+                event["state"],
+                event["severity"],
+                int(event["time"]),
+                round(float(event["value"]), 3),
+            ]
+            for event in self.alert_events
+        ]
+        return format_table(
+            ["alert", "state", "severity", "sim time", "value"],
+            rows,
+            title=(
+                "SLO chaos: predictor outage + latency spike "
+                f"(roundtrip {'ok' if self.alert_roundtrip_ok else 'FAILED'}, "
+                f"streaming==batch {'ok' if self.equivalence_ok else 'FAILED'})"
+            ),
+        )
+
+
+def run_slo_chaos(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    fast_window_s: int = 900,
+    latency_s: float = 0.25,
+) -> SloChaosResult:
+    """Chaos scenario for the SLO pipeline (the alerting round trip).
+
+    Arms two scheduled faults against a proactive run watched by the
+    stock :func:`~repro.observability.slo.simulation_slos` rule set:
+
+    * ``predictor.exception`` at p=1.0 for the first two fast windows of
+      the evaluation window -- every prediction fails, the predictor
+      circuit breaker opens, and the ``predictor_unavailable`` threshold
+      alert must fire within one fast window and clear once the breaker
+      re-closes after its recovery period;
+    * ``predictor.latency`` (+``latency_s`` per call) over a later,
+      disjoint window -- the ``predictor_latency_p99`` alert must fire
+      and clear the same way.
+
+    The run also reconciles the streaming KPI series against both the
+    simulator's :class:`~repro.core.kpi.KpiReport` and the offline
+    telemetry recomputation (:func:`evaluate_offline_kpis`) -- the
+    streaming == batch equivalence this scenario exists to pin.
+    """
+    settings = scale.settings(
+        use_fast_predictor=False,  # route predictions through the
+        # instrumented reference predictor so the latency fault lands
+        region_label=preset.value,
+        slo_window_s=fast_window_s,
+    )
+    eval_start, eval_end = settings.eval_start, settings.eval_end
+    # Both fault windows sit in business hours of the first evaluation
+    # day: the synthetic weekday fleets predict a handful of times per
+    # fast window there, enough for the breaker's five consecutive
+    # failures (a window at the quiet day boundary would see none).
+    fault_window = (
+        eval_start + 32 * fast_window_s,
+        eval_start + 40 * fast_window_s,
+    )
+    latency_window = (
+        eval_start + 60 * fast_window_s,
+        eval_start + 68 * fast_window_s,
+    )
+    if latency_window[1] > eval_end:
+        raise ValueError(
+            "evaluation window too short for the SLO chaos schedule "
+            f"(needs >= {68 * fast_window_s} s, has {eval_end - eval_start})"
+        )
+    plan = FaultPlan.of(
+        FaultSpec(
+            point="predictor.exception",
+            probability=1.0,
+            windows=(fault_window,),
+        ),
+        FaultSpec(
+            point="predictor.latency",
+            probability=1.0,
+            latency_s=latency_s,
+            windows=(latency_window,),
+        ),
+    )
+
+    traces = region_fleet(preset, scale)
+    labels = {"region": preset.value}
+    metrics = MetricsRegistry()
+    ledger = AlertLedger()
+    monitor = SloMonitor(
+        metrics,
+        simulation_slos(labels=labels, fast_window_s=fast_window_s),
+        ledger=ledger,
+    )
+    with chaos(plan, seed=scale.seed):
+        with observed(tracer=NULL_TRACER, metrics=metrics, slo=monitor):
+            result = simulate_region(
+                traces, PolicyKind.PROACTIVE, DEFAULT_CONFIG, settings
+            )
+            monitor.drain(eval_end)
+
+    kpis = result.kpis()
+    store = TelemetryStore()
+    emit_simulation_telemetry(result, traces, store)
+    offline = evaluate_offline_kpis(store, start=eval_start, end=eval_end)
+
+    def total(name: str) -> float:
+        series = metrics.get(name, labels)
+        return series.total() if series is not None else 0.0
+
+    streaming = {
+        "logins": total("slo.qos.logins"),
+        "reactive": total("slo.qos.reactive"),
+        "reactive_resume": total("slo.workflows.reactive_resume"),
+        "proactive_resume": total("slo.workflows.proactive_resume"),
+        "used_s": round(total("slo.cogs.used_s"), 6),
+        "unavailable_s": round(total("slo.cogs.unavailable_s"), 6),
+        "idle_s": round(total("slo.cogs.idle_s"), 6),
+    }
+    report = {
+        "logins": float(kpis.logins.total),
+        "reactive": float(kpis.logins.reactive),
+        "reactive_resumes": float(kpis.workflows.reactive_resumes),
+        "proactive_resumes": float(kpis.workflows.proactive_resumes),
+        "used_s": float(kpis.used_s),
+        "unavailable_s": float(kpis.unavailable_s),
+        "idle_s": float(
+            kpis.idle.logical_pause_s
+            + kpis.idle.correct_proactive_s
+            + kpis.idle.wrong_proactive_s
+            + kpis.maintenance_s
+        ),
+    }
+    offline_doc = {
+        "logins": float(offline.logins_total),
+        "reactive_resumes": float(offline.reactive_resumes),
+        "proactive_resumes": float(offline.proactive_resumes),
+    }
+    return SloChaosResult(
+        fast_window_s=fast_window_s,
+        fault_window=fault_window,
+        latency_window=latency_window,
+        unavailable_fired_at=ledger.first_time(
+            "predictor_unavailable", "firing"
+        ),
+        unavailable_cleared_at=ledger.first_time(
+            "predictor_unavailable", "cleared"
+        ),
+        latency_fired_at=ledger.first_time("predictor_latency_p99", "firing"),
+        latency_cleared_at=ledger.first_time(
+            "predictor_latency_p99", "cleared"
+        ),
+        alert_events=[
+            {
+                "time": event.time,
+                "name": event.name,
+                "state": event.state,
+                "severity": event.severity,
+                "value": event.value,
+                "detail": event.detail,
+            }
+            for event in ledger.events
+        ],
+        streaming=streaming,
+        report=report,
+        offline=offline_doc,
+    )

@@ -210,6 +210,11 @@ class CircuitBreaker:
             OBS.metrics.gauge(f"breaker.{self.name}.state").set(
                 _BREAKER_GAUGE[state]
             )
+            # Windowed state series on the caller's (sim) clock: the
+            # predictor_unavailable SLO thresholds on its last sample.
+            OBS.metrics.gauge_series(
+                f"breaker.{self.name}.state.window"
+            ).set(now, _BREAKER_GAUGE[state])
 
     def allow(self, now: int) -> bool:
         """Whether a call may proceed at sim-time ``now``.  Moving from

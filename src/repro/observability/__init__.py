@@ -19,6 +19,7 @@ instruments the hot paths themselves:
 See ``docs/observability.md`` for the span taxonomy and metric names.
 """
 
+from repro.observability.console import render_top, sparkline
 from repro.observability.exporters import (
     chrome_trace_events,
     write_chrome_trace,
@@ -33,8 +34,26 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     exponential_buckets,
+    metric_key,
 )
+from repro.observability.openmetrics import render_openmetrics, sanitize_name
 from repro.observability.runtime import OBS, disable, enable, observed
+from repro.observability.slo import (
+    AlertEvent,
+    AlertLedger,
+    KpiStream,
+    SloMonitor,
+    SloSpec,
+    serving_slos,
+    simulation_slos,
+)
+from repro.observability.timeseries import (
+    DEFAULT_WINDOW_CAPACITY,
+    DEFAULT_WINDOW_S,
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+)
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -55,9 +74,26 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "metric_key",
     "exponential_buckets",
     "LATENCY_BUCKETS_MS",
     "SIZE_BUCKETS",
+    "CounterSeries",
+    "GaugeSeries",
+    "HistogramSeries",
+    "DEFAULT_WINDOW_S",
+    "DEFAULT_WINDOW_CAPACITY",
+    "SloSpec",
+    "SloMonitor",
+    "AlertEvent",
+    "AlertLedger",
+    "KpiStream",
+    "simulation_slos",
+    "serving_slos",
+    "render_openmetrics",
+    "sanitize_name",
+    "render_top",
+    "sparkline",
     "write_spans_jsonl",
     "write_chrome_trace",
     "write_metrics_snapshot",

@@ -1,0 +1,116 @@
+"""``observe --top``: a terminal dashboard over the live registry.
+
+Renders the windowed SLO series as unicode sparklines with their latest
+values, the firing alerts from the ledger, and the headline cumulative
+counters -- the ``top(1)`` view an operator keeps open next to a fleet.
+Pure string formatting; no terminal control codes, so the output is
+pipe- and test-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import AlertLedger
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Scale ``values`` onto 8-level unicode blocks (newest right)."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    peak = max(tail)
+    if peak <= 0:
+        return _BLOCKS[0] * len(tail)
+    return "".join(
+        _BLOCKS[min(8, int(8 * v / peak + 0.999)) if v > 0 else 0]
+        for v in tail
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.6g}"
+
+
+def render_top(
+    registry: Optional[MetricsRegistry],
+    ledger: Optional[AlertLedger] = None,
+    title: str = "observe top",
+    width: int = 32,
+) -> str:
+    """The dashboard as one multi-line string."""
+    lines = [f"== {title} =="]
+    if registry is None:
+        lines.append("(observability disabled)")
+        return "\n".join(lines)
+
+    if ledger is not None:
+        active = ledger.active()
+        if active:
+            lines.append(f"-- alerts: {len(active)} FIRING --")
+            for event in active:
+                lines.append(
+                    f"  !! {event.name} [{event.severity}] since "
+                    f"t={_fmt_value(event.time)}  {event.detail}"
+                )
+        else:
+            lines.append(
+                f"-- alerts: none firing "
+                f"({ledger.fired_count()} fired / "
+                f"{ledger.cleared_count()} cleared this run) --"
+            )
+
+    series_rows = []
+    gauge_rows = []
+    counter_rows = []
+    for key, metric in registry.items():
+        kind = metric.kind
+        if kind == "counter_series":
+            values = [float(v) for _, v in metric.window_items()]
+            series_rows.append(
+                f"  {key:<44} {sparkline(values, width):<{width}} "
+                f"total={_fmt_value(metric.total())}"
+            )
+        elif kind == "histogram_series":
+            values = [float(w.count) for _, w in sorted(metric.windows.items())]
+            worst = metric.worst_exemplar()
+            suffix = f" worst={_fmt_value(worst[0])} ({worst[1]})" if worst else ""
+            series_rows.append(
+                f"  {key:<44} {sparkline(values, width):<{width}} "
+                f"count={_fmt_value(metric.total_count())}{suffix}"
+            )
+        elif kind == "gauge_series":
+            values = [
+                float(v) for _, v in metric.window_items() if v is not None
+            ]
+            last = metric.last
+            series_rows.append(
+                f"  {key:<44} {sparkline(values, width):<{width}} "
+                f"last={_fmt_value(last) if last is not None else '-'}"
+            )
+        elif kind == "gauge":
+            if metric.value is not None and key.startswith("slo."):
+                gauge_rows.append(f"  {key:<44} {_fmt_value(metric.value)}")
+        elif kind == "counter":
+            if metric.value:
+                counter_rows.append(f"  {key:<44} {_fmt_value(metric.value)}")
+
+    if series_rows:
+        lines.append(f"-- windowed series ({len(series_rows)}) --")
+        lines.extend(series_rows)
+    if gauge_rows:
+        lines.append("-- slo state --")
+        lines.extend(gauge_rows)
+    if counter_rows:
+        lines.append(f"-- counters ({len(counter_rows)}) --")
+        lines.extend(counter_rows)
+    if len(lines) == 1:
+        lines.append("(registry is empty)")
+    return "\n".join(lines)

@@ -48,14 +48,28 @@ LATENCY_BUCKETS_MS = exponential_buckets(0.001, 1.15, 120)
 SIZE_BUCKETS = exponential_buckets(1.0, 1.25, 64)
 
 
+def metric_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Canonical registry key: ``name`` or ``name{k=v,...}`` (keys sorted).
+
+    Sorting makes the key independent of the label dict's insertion
+    order, so two call sites naming the same (name, labels) pair always
+    land on the same metric -- in one registry and across merges.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
     kind = "counter"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.value: Number = 0
 
     def inc(self, n: Number = 1) -> None:
@@ -73,11 +87,12 @@ class Counter:
 class Gauge:
     """A point-in-time value (queue depth, sim clock, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
     kind = "gauge"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.value: Optional[Number] = None
 
     def set(self, value: Number) -> None:
@@ -104,6 +119,7 @@ class Histogram:
 
     __slots__ = (
         "name",
+        "labels",
         "buckets",
         "counts",
         "count",
@@ -120,6 +136,7 @@ class Histogram:
         name: str,
         buckets: Optional[Sequence[float]] = None,
         sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+        labels: Optional[Dict[str, str]] = None,
     ):
         bounds = list(LATENCY_BUCKETS_MS if buckets is None else buckets)
         if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
@@ -127,6 +144,7 @@ class Histogram:
                 f"histogram {name!r} needs strictly increasing bucket bounds"
             )
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.buckets = bounds
         self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
         self.count = 0
@@ -223,6 +241,8 @@ class Histogram:
 
 Metric = Union[Counter, Gauge, Histogram]
 
+Labels = Optional[Dict[str, str]]
+
 
 class MetricsRegistry:
     """Named metrics, created on first use, in insertion order.
@@ -231,10 +251,16 @@ class MetricsRegistry:
     ``gauge``, and ``histogram`` are get-or-create, so instrumentation
     sites never need registration boilerplate.  Asking for an existing
     name with a different type raises.
+
+    Labelled variants of a metric (``labels={"region": "eu1"}``) are
+    stored under the canonical :func:`metric_key`; the plain name stays
+    its own slot, so unlabelled call sites are unaffected.  Windowed
+    time-series (:mod:`repro.observability.timeseries`) register through
+    the same table and ride the same :meth:`merge` path.
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[str, object] = {}
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -245,31 +271,110 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return list(self._metrics)
 
-    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
-        metric = self._metrics.get(name)
+    def items(self):
+        """``(key, metric)`` pairs in insertion order (renderer access)."""
+        return list(self._metrics.items())
+
+    def get(self, name: str, labels: Labels = None):
+        """The metric under ``metric_key(name, labels)``, or ``None``."""
+        return self._metrics.get(metric_key(name, labels))
+
+    def _get_or_create(self, key: str, factory, kind: str):
+        metric = self._metrics.get(key)
         if metric is None:
             metric = factory()
-            self._metrics[name] = metric
+            self._metrics[key] = metric
         elif metric.kind != kind:
             raise ProRPError(
-                f"metric {name!r} is a {metric.kind}, requested as {kind}"
+                f"metric {key!r} is a {metric.kind}, requested as {kind}"
             )
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, lambda: Counter(name), "counter")
+    def counter(self, name: str, labels: Labels = None) -> Counter:
+        return self._get_or_create(
+            metric_key(name, labels), lambda: Counter(name, labels), "counter"
+        )
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+    def gauge(self, name: str, labels: Labels = None) -> Gauge:
+        return self._get_or_create(
+            metric_key(name, labels), lambda: Gauge(name, labels), "gauge"
+        )
 
     def histogram(
         self,
         name: str,
         buckets: Optional[Sequence[float]] = None,
         sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+        labels: Labels = None,
     ) -> Histogram:
         return self._get_or_create(
-            name, lambda: Histogram(name, buckets, sample_limit), "histogram"
+            metric_key(name, labels),
+            lambda: Histogram(name, buckets, sample_limit, labels),
+            "histogram",
+        )
+
+    def counter_series(
+        self,
+        name: str,
+        window_s: Number = None,  # type: ignore[assignment]
+        capacity: Optional[int] = None,
+        labels: Labels = None,
+    ):
+        from repro.observability.timeseries import (
+            DEFAULT_WINDOW_CAPACITY,
+            DEFAULT_WINDOW_S,
+            CounterSeries,
+        )
+
+        window = DEFAULT_WINDOW_S if window_s is None else window_s
+        cap = DEFAULT_WINDOW_CAPACITY if capacity is None else capacity
+        return self._get_or_create(
+            metric_key(name, labels),
+            lambda: CounterSeries(name, window, cap, labels),
+            "counter_series",
+        )
+
+    def gauge_series(
+        self,
+        name: str,
+        window_s: Number = None,  # type: ignore[assignment]
+        capacity: Optional[int] = None,
+        labels: Labels = None,
+    ):
+        from repro.observability.timeseries import (
+            DEFAULT_WINDOW_CAPACITY,
+            DEFAULT_WINDOW_S,
+            GaugeSeries,
+        )
+
+        window = DEFAULT_WINDOW_S if window_s is None else window_s
+        cap = DEFAULT_WINDOW_CAPACITY if capacity is None else capacity
+        return self._get_or_create(
+            metric_key(name, labels),
+            lambda: GaugeSeries(name, window, cap, labels),
+            "gauge_series",
+        )
+
+    def histogram_series(
+        self,
+        name: str,
+        window_s: Number = None,  # type: ignore[assignment]
+        buckets: Optional[Sequence[float]] = None,
+        capacity: Optional[int] = None,
+        labels: Labels = None,
+    ):
+        from repro.observability.timeseries import (
+            DEFAULT_WINDOW_CAPACITY,
+            DEFAULT_WINDOW_S,
+            HistogramSeries,
+        )
+
+        window = DEFAULT_WINDOW_S if window_s is None else window_s
+        cap = DEFAULT_WINDOW_CAPACITY if capacity is None else capacity
+        return self._get_or_create(
+            metric_key(name, labels),
+            lambda: HistogramSeries(name, window, buckets, cap, labels),
+            "histogram_series",
         )
 
     def merge(self, other: "MetricsRegistry") -> None:
@@ -303,6 +408,21 @@ class MetricsRegistry:
                     f"{name} histogram count={s['count']} mean={s['mean']} "
                     f"p50={s['p50']} p95={s['p95']} p99={s['p99']} "
                     f"min={s['min']} max={s['max']}"
+                )
+            elif metric.kind == "counter_series":
+                lines.append(
+                    f"{name} counter_series total={metric.total()} "
+                    f"windows={len(metric.windows)} window_s={metric.window_s}"
+                )
+            elif metric.kind == "gauge_series":
+                lines.append(
+                    f"{name} gauge_series last={metric.last} "
+                    f"windows={len(metric.windows)} window_s={metric.window_s}"
+                )
+            elif metric.kind == "histogram_series":
+                lines.append(
+                    f"{name} histogram_series count={metric.total_count()} "
+                    f"windows={len(metric.windows)} window_s={metric.window_s}"
                 )
             else:
                 lines.append(f"{name} {metric.kind} value={metric.value}")

@@ -1,0 +1,171 @@
+"""OpenMetrics/Prometheus text exposition for the metrics registry.
+
+Zero-dependency renderer producing the OpenMetrics text format: one
+``# TYPE`` line per metric family, ``_total`` suffixes on counters,
+cumulative ``_bucket{le="..."}`` lines plus ``_sum``/``_count`` for
+histograms, and a terminating ``# EOF``.  Windowed series render as
+their scrape-equivalent aggregates (a counter series exports its exact
+running total, a histogram series its merged bucket deltas with the
+worst-observation exemplar attached to the ``+Inf`` bucket).
+
+The serving gateway serves this text live for a ``metrics`` request
+(``repro.serving``), and ``benchmarks/check_openmetrics.py`` validates
+the line format in CI.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProRPError
+from repro.observability.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: registry kind -> OpenMetrics family type
+_FAMILY_TYPES = {
+    "counter": "counter",
+    "counter_series": "counter",
+    "gauge": "gauge",
+    "gauge_series": "gauge",
+    "histogram": "histogram",
+    "histogram_series": "histogram",
+}
+
+
+def sanitize_name(name: str) -> str:
+    """Registry names use dots (``serving.requests.predict``); the
+    exposition format allows ``[a-zA-Z0-9_:]`` only."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    if not _NAME_OK.match(cleaned):  # pragma: no cover - defensive
+        raise ProRPError(f"cannot sanitize metric name {name!r}")
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Optional[Dict[str, str]],
+                 extra: Optional[List[Tuple[str, str]]] = None) -> str:
+    pairs: List[Tuple[str, str]] = []
+    if labels:
+        for key in sorted(labels):
+            name = re.sub(r"[^a-zA-Z0-9_]", "_", key)
+            if not _LABEL_OK.match(name):
+                name = "_" + name
+            pairs.append((name, _escape_label_value(labels[key])))
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Compact float formatting (no trailing zeros, ints stay ints)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(value, ".10g")
+
+
+def _histogram_lines(
+    fam: str,
+    labels: Optional[Dict[str, str]],
+    buckets: List[float],
+    counts: List[int],
+    total_sum: float,
+    exemplar: Optional[Tuple[float, str]],
+) -> List[str]:
+    # ``counts`` has ``len(buckets) + 1`` entries, the last being the
+    # implicit overflow bucket (everything above the top bound).
+    lines = []
+    cumulative = 0
+    for bound, count in zip(buckets, counts):
+        cumulative += count
+        text = _labels_text(labels, [("le", format(bound, ".6g"))])
+        lines.append(f"{fam}_bucket{text} {cumulative}")
+    cumulative += counts[len(buckets)]
+    text = _labels_text(labels, [("le", "+Inf")])
+    inf_line = f"{fam}_bucket{text} {cumulative}"
+    if exemplar is not None:
+        value, token = exemplar
+        inf_line += f' # {{trace_id="{_escape_label_value(token)}"}} {_fmt(value)}'
+    lines.append(inf_line)
+    lines.append(f"{fam}_sum{_labels_text(labels)} {_fmt(total_sum)}")
+    lines.append(f"{fam}_count{_labels_text(labels)} {cumulative}")
+    return lines
+
+
+def render_openmetrics(registry: Optional[MetricsRegistry]) -> str:
+    """The full exposition document, terminated with ``# EOF``."""
+    if registry is None:
+        return "# EOF\n"
+    # Group labelled variants under one family, preserving first-seen
+    # order; a family must keep one exposition type.
+    families: Dict[str, Tuple[str, List[object]]] = {}
+    for _key, metric in registry.items():
+        fam = sanitize_name(metric.name)
+        ftype = _FAMILY_TYPES[metric.kind]
+        if fam not in families:
+            families[fam] = (ftype, [metric])
+        else:
+            seen_type, members = families[fam]
+            if seen_type != ftype:
+                raise ProRPError(
+                    f"metric family {fam!r} mixes exposition types "
+                    f"({seen_type} vs {ftype})"
+                )
+            members.append(metric)
+    lines: List[str] = []
+    for fam, (ftype, members) in families.items():
+        lines.append(f"# TYPE {fam} {ftype}")
+        for metric in members:
+            labels = metric.labels
+            kind = metric.kind
+            if kind == "counter":
+                lines.append(
+                    f"{fam}_total{_labels_text(labels)} {_fmt(metric.value)}"
+                )
+            elif kind == "counter_series":
+                lines.append(
+                    f"{fam}_total{_labels_text(labels)} {_fmt(metric.total())}"
+                )
+            elif kind == "gauge":
+                if metric.value is not None:
+                    lines.append(
+                        f"{fam}{_labels_text(labels)} {_fmt(metric.value)}"
+                    )
+            elif kind == "gauge_series":
+                if metric.last is not None:
+                    lines.append(
+                        f"{fam}{_labels_text(labels)} {_fmt(metric.last)}"
+                    )
+            elif kind == "histogram":
+                lines.extend(
+                    _histogram_lines(
+                        fam, labels, metric.buckets, metric.counts,
+                        metric.sum, None,
+                    )
+                )
+            elif kind == "histogram_series":
+                lines.extend(
+                    _histogram_lines(
+                        fam, labels, metric.buckets, metric.merged_counts(),
+                        metric.total_sum(), metric.worst_exemplar(),
+                    )
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

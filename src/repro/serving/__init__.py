@@ -27,6 +27,8 @@ from repro.serving.requests import (
     HealthRequest,
     HealthResponse,
     InvalidRequest,
+    MetricsRequest,
+    MetricsResponse,
     Overloaded,
     PredictRequest,
     PredictResponse,
@@ -58,6 +60,8 @@ __all__ = [
     "HealthResponse",
     "InvalidRequest",
     "LoadReport",
+    "MetricsRequest",
+    "MetricsResponse",
     "MicroBatcher",
     "Overloaded",
     "PredictRequest",

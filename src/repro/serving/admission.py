@@ -128,10 +128,27 @@ class AdmissionController:
         }
         self.admitted = 0
 
-    def _shed(self, reason: str, response: ErrorResponse) -> ErrorResponse:
+    #: Wall-clock window of the per-tenant shed streams; matches the
+    #: gateway's ``SERVING_WINDOW_S`` (one second, the SLO fast window).
+    WINDOW_S = 1.0
+
+    def _shed(
+        self, reason: str, response: ErrorResponse, tenant: str = "default"
+    ) -> ErrorResponse:
         self.shed[reason] += 1
         if OBS.enabled:
             OBS.metrics.counter(f"serving.shed.{reason}").inc()
+            now = self._clock()
+            # The aggregate stream the shed-rate SLO burns against, plus
+            # the per-tenant view that tells *whose* traffic is shedding.
+            OBS.metrics.counter_series(
+                "serving.shed.window", window_s=self.WINDOW_S
+            ).inc(now)
+            OBS.metrics.counter_series(
+                "serving.tenant.shed",
+                window_s=self.WINDOW_S,
+                labels={"tenant": tenant, "reason": reason},
+            ).inc(now)
         return response
 
     def total_shed(self) -> int:
@@ -147,6 +164,7 @@ class AdmissionController:
             return self._shed(
                 "shutdown",
                 Shutdown(request_id, "server is draining; request rejected"),
+                tenant=request.tenant,
             )
         queue_full_injected = (
             FAULTS.enabled
@@ -161,6 +179,7 @@ class AdmissionController:
                     f"queue depth {depth} at limit "
                     f"{self.policy.max_queue_depth}",
                 ),
+                tenant=request.tenant,
             )
         if self.policy.tenant_rate > 0:
             bucket = self._buckets.get(request.tenant)
@@ -179,19 +198,23 @@ class AdmissionController:
                         f"tenant {request.tenant!r} exceeded "
                         f"{self.policy.tenant_rate}/s",
                     ),
+                    tenant=request.tenant,
                 )
         deadline_ms = getattr(request, "deadline_ms", None)
         if deadline_ms is not None and deadline_ms <= 0:
             return self._shed(
                 "deadline",
                 DeadlineExpired(request_id, "deadline expired before admission"),
+                tenant=request.tenant,
             )
         self.admitted += 1
         if OBS.enabled:
             OBS.metrics.counter("serving.admitted").inc()
         return None
 
-    def shed_deadline(self, request_id: str, waited_ms: float) -> ErrorResponse:
+    def shed_deadline(
+        self, request_id: str, waited_ms: float, tenant: str = "default"
+    ) -> ErrorResponse:
         """Dispatch-time shed: the queue wait consumed the client budget."""
         return self._shed(
             "deadline",
@@ -199,4 +222,5 @@ class AdmissionController:
                 request_id,
                 f"deadline expired after {waited_ms:.1f} ms in queue",
             ),
+            tenant=tenant,
         )

@@ -127,12 +127,24 @@ class MicroBatcher:
         self.batches += 1
         self.batched_requests += len(batch.entries)
         if OBS.enabled:
+            linger_ms = (time.perf_counter() - batch.opened_at) * 1000.0
             OBS.metrics.histogram(
                 "serving.batch.size", buckets=SIZE_BUCKETS
             ).observe(len(batch.entries))
             OBS.metrics.histogram(
                 "serving.batch.linger_ms", buckets=LATENCY_BUCKETS_MS
-            ).observe((time.perf_counter() - batch.opened_at) * 1000.0)
+            ).observe(linger_ms)
+            # Windowed view for the live dashboard: batches per second
+            # and the per-window worst linger (exemplar = batch key).
+            now = time.monotonic()
+            OBS.metrics.counter_series(
+                "serving.batch.window", window_s=1.0
+            ).inc(now)
+            OBS.metrics.histogram_series(
+                "serving.batch.linger_ms.window",
+                window_s=1.0,
+                buckets=LATENCY_BUCKETS_MS,
+            ).observe(now, linger_ms, exemplar=str(batch.key))
         fleet = [logins for logins, _ in batch.entries]
         try:
             results = self._run_batch(batch.key, fleet, batch.now)

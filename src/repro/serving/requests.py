@@ -1,7 +1,7 @@
 """Typed request/response model of the serving gateway.
 
-The gateway speaks a small, explicit vocabulary: three request types
-(predict, resume-scan, health) and one response type per request, plus a
+The gateway speaks a small, explicit vocabulary: four request types
+(predict, resume-scan, health, metrics) and one response type per request, plus a
 family of typed rejection responses (:class:`Overloaded`,
 :class:`RateLimited`, :class:`DeadlineExpired`, :class:`Shutdown`,
 :class:`Unavailable`, :class:`InvalidRequest`).  Rejections are *values*,
@@ -85,7 +85,19 @@ class HealthRequest:
     tenant: str = "default"
 
 
-Request = Union[PredictRequest, ResumeScanRequest, HealthRequest]
+@dataclass(frozen=True)
+class MetricsRequest:
+    """OpenMetrics scrape of the live registry; never queued, never shed
+    (a monitoring plane that can be shed by the overload it should be
+    observing is useless)."""
+
+    kind: ClassVar[str] = "metrics"
+
+    request_id: str
+    tenant: str = "default"
+
+
+Request = Union[PredictRequest, ResumeScanRequest, HealthRequest, MetricsRequest]
 
 
 # ---------------------------------------------------------------------------
@@ -126,6 +138,18 @@ class HealthResponse:
     served: int
     shed: int
     stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """The OpenMetrics exposition text (empty registry => bare ``# EOF``)."""
+
+    kind: ClassVar[str] = "metrics"
+
+    request_id: str
+    body: str
+    #: Number of metric entries the snapshot covered.
+    metric_count: int = 0
 
 
 @dataclass(frozen=True)
@@ -181,7 +205,11 @@ class InvalidRequest(ErrorResponse):
 
 
 Response = Union[
-    PredictResponse, ResumeScanResponse, HealthResponse, ErrorResponse
+    PredictResponse,
+    ResumeScanResponse,
+    HealthResponse,
+    MetricsResponse,
+    ErrorResponse,
 ]
 
 
@@ -190,7 +218,8 @@ Response = Union[
 # ---------------------------------------------------------------------------
 
 _REQUEST_TYPES: Dict[str, type] = {
-    cls.kind: cls for cls in (PredictRequest, ResumeScanRequest, HealthRequest)
+    cls.kind: cls
+    for cls in (PredictRequest, ResumeScanRequest, HealthRequest, MetricsRequest)
 }
 
 
@@ -268,6 +297,9 @@ def encode_response(response: Response) -> Dict[str, Any]:
             shed=response.shed,
             stats=dict(response.stats),
         )
+    elif isinstance(response, MetricsResponse):
+        doc["body"] = response.body
+        doc["metric_count"] = response.metric_count
     else:
         doc["message"] = response.message
     return doc

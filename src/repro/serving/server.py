@@ -49,6 +49,7 @@ from repro.faults.resilience import CircuitBreaker, RetryPolicy
 from repro.faults.runtime import FAULTS
 from repro.observability import exporters
 from repro.observability.metrics import LATENCY_BUCKETS_MS
+from repro.observability.openmetrics import render_openmetrics
 from repro.observability.runtime import OBS
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.batcher import MicroBatcher
@@ -56,6 +57,8 @@ from repro.serving.requests import (
     HealthRequest,
     HealthResponse,
     InvalidRequest,
+    MetricsRequest,
+    MetricsResponse,
     PredictRequest,
     PredictResponse,
     Request,
@@ -80,6 +83,7 @@ _PREREGISTERED_COUNTERS = (
     "serving.requests.predict",
     "serving.requests.resume_scan",
     "serving.requests.health",
+    "serving.requests.metrics",
     "serving.admitted",
     "serving.served",
     "serving.errors",
@@ -87,7 +91,16 @@ _PREREGISTERED_COUNTERS = (
     "serving.shed.rate_limited",
     "serving.shed.deadline",
     "serving.shed.shutdown",
+    "serving.health.probes",
+    "serving.health.metrics_scrapes",
+    "slo.evaluations",
+    "slo.alerts.fired",
+    "slo.alerts.cleared",
 )
+
+#: Wall-clock window for the gateway's live series (shed/latency per
+#: tenant): one second, matching the serving SLOs' fast window.
+SERVING_WINDOW_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -152,10 +165,14 @@ class PredictionServer:
         configs: Optional[Dict[str, ProRPConfig]] = None,
         settings: Optional[ServingSettings] = None,
         clock: Callable[[], float] = time.monotonic,
+        slo_monitor=None,
     ):
         self.settings = settings if settings is not None else ServingSettings()
         self._configs = dict(configs) if configs else {"default": DEFAULT_CONFIG}
         self._clock = clock
+        #: Optional :class:`repro.observability.slo.SloMonitor` ticked on
+        #: every served request; its ledger feeds the health endpoint.
+        self.slo_monitor = slo_monitor
         self.admission = AdmissionController(
             self.settings.admission_policy(), clock=clock
         )
@@ -222,6 +239,19 @@ class PredictionServer:
                 "serving.latency_ms", buckets=LATENCY_BUCKETS_MS
             )
             OBS.metrics.gauge("serving.queue.depth").set(0)
+            # The windowed streams the serving SLO rules evaluate; created
+            # up front so a scrape shows the families even before traffic.
+            OBS.metrics.counter_series(
+                "serving.requests.window", window_s=SERVING_WINDOW_S
+            )
+            OBS.metrics.counter_series(
+                "serving.shed.window", window_s=SERVING_WINDOW_S
+            )
+            OBS.metrics.histogram_series(
+                "serving.latency_ms.window",
+                window_s=SERVING_WINDOW_S,
+                buckets=LATENCY_BUCKETS_MS,
+            )
         self._dispatch_task = asyncio.get_running_loop().create_task(
             self._dispatch_loop()
         )
@@ -249,6 +279,9 @@ class PredictionServer:
             self.admission.shed["shutdown"] += 1
             if OBS.enabled:
                 OBS.metrics.counter("serving.shed.shutdown").inc()
+                OBS.metrics.counter_series(
+                    "serving.shed.window", window_s=SERVING_WINDOW_S
+                ).inc(self._clock())
             self._resolve(
                 entry,
                 Shutdown(entry.request.request_id, "server stopped while queued"),
@@ -283,8 +316,13 @@ class PredictionServer:
         """Serve one request; always returns a typed response."""
         if OBS.enabled:
             OBS.metrics.counter(f"serving.requests.{request.kind}").inc()
+            OBS.metrics.counter_series(
+                "serving.requests.window", window_s=SERVING_WINDOW_S
+            ).inc(self._clock())
         if isinstance(request, HealthRequest):
             return self._health(request)
+        if isinstance(request, MetricsRequest):
+            return self._metrics(request)
         if not self._started and not self._stopping:
             await self.start()
         rejection = self.admission.admit(
@@ -303,9 +341,27 @@ class PredictionServer:
         return await entry.future
 
     def _health(self, request: HealthRequest) -> HealthResponse:
+        if OBS.enabled:
+            OBS.metrics.counter("serving.health.probes").inc()
         status = "stopping" if self._stopping else (
             "ok" if self._started else "idle"
         )
+        stats = {
+            "errors": self.stats.errors,
+            "max_depth": self.stats.max_depth,
+            "batches": self.batcher.batches,
+            "batched_requests": self.batcher.batched_requests,
+            "breaker_opens": self._breaker.opens,
+            **{f"shed_{k}": v for k, v in self.admission.shed.items()},
+        }
+        if self.slo_monitor is not None:
+            ledger = self.slo_monitor.ledger
+            active = ledger.active()
+            stats["slo_alerts_active"] = len(active)
+            stats["slo_alerts_fired"] = ledger.fired_count()
+            stats["slo_alerts_cleared"] = ledger.cleared_count()
+            if active:
+                status = "degraded" if status == "ok" else status
         return HealthResponse(
             request_id=request.request_id,
             status=status,
@@ -313,14 +369,21 @@ class PredictionServer:
             in_flight=len(self._in_flight),
             served=self.stats.served,
             shed=self.admission.total_shed(),
-            stats={
-                "errors": self.stats.errors,
-                "max_depth": self.stats.max_depth,
-                "batches": self.batcher.batches,
-                "batched_requests": self.batcher.batched_requests,
-                "breaker_opens": self._breaker.opens,
-                **{f"shed_{k}": v for k, v in self.admission.shed.items()},
-            },
+            stats=stats,
+        )
+
+    def _metrics(self, request: MetricsRequest) -> MetricsResponse:
+        """Synchronous OpenMetrics scrape -- like health, it bypasses
+        admission so the monitoring plane survives overload."""
+        if OBS.enabled:
+            OBS.metrics.counter("serving.health.metrics_scrapes").inc()
+            registry = OBS.metrics
+        else:
+            registry = None
+        return MetricsResponse(
+            request_id=request.request_id,
+            body=render_openmetrics(registry),
+            metric_count=len(registry) if registry is not None else 0,
         )
 
     # ------------------------------------------------------------------
@@ -343,7 +406,9 @@ class PredictionServer:
                 self._resolve(
                     entry,
                     self.admission.shed_deadline(
-                        entry.request.request_id, waited_ms
+                        entry.request.request_id,
+                        waited_ms,
+                        tenant=getattr(entry.request, "tenant", "default"),
                     ),
                 )
                 continue
@@ -381,9 +446,27 @@ class PredictionServer:
             )
         self._resolve(entry, response)
         if OBS.enabled:
+            total_ms = (time.perf_counter() - started) * 1000.0 + waited_ms
             OBS.metrics.histogram(
                 "serving.latency_ms", buckets=LATENCY_BUCKETS_MS
-            ).observe((time.perf_counter() - started) * 1000.0 + waited_ms)
+            ).observe(total_ms)
+            now = self._clock()
+            # The per-tenant windowed stream the latency SLO evaluates;
+            # the exemplar pins each window's worst request by id, so a
+            # paging p99 links straight to the offending trace.
+            OBS.metrics.histogram_series(
+                "serving.latency_ms.window",
+                window_s=SERVING_WINDOW_S,
+                buckets=LATENCY_BUCKETS_MS,
+            ).observe(now, total_ms, exemplar=request.request_id)
+            OBS.metrics.histogram_series(
+                "serving.tenant.latency_ms",
+                window_s=SERVING_WINDOW_S,
+                buckets=LATENCY_BUCKETS_MS,
+                labels={"tenant": getattr(request, "tenant", "default")},
+            ).observe(now, total_ms, exemplar=request.request_id)
+            if self.slo_monitor is not None:
+                self.slo_monitor.maybe_evaluate(now)
 
     def _error(self, request_id: str, message: str) -> Unavailable:
         self.stats.errors += 1

@@ -232,27 +232,43 @@ class ColumnarState:
 
 
 class StoreAccounting:
-    """Accounting seam over real :class:`DatabaseOutcome` objects."""
+    """Accounting seam over real :class:`DatabaseOutcome` objects.
 
-    def __init__(self, outcomes: List[DatabaseOutcome]):
+    ``stream`` (a :class:`repro.observability.slo.KpiStream`) mirrors the
+    KPI events into windowed SLO series as they happen; it only writes
+    metrics, so the outcome ledgers stay byte-identical with it attached.
+    """
+
+    def __init__(self, outcomes: List[DatabaseOutcome], stream=None):
         self.outcomes = outcomes
+        self.stream = stream
 
     def add_used(self, d: int, start: int, end: int) -> None:
         self.outcomes[d].add_used(start, end)
+        if self.stream is not None:
+            self.stream.used(start, end)
 
     def add_unavailable(self, d: int, start: int, end: int) -> None:
         self.outcomes[d].add_unavailable(start, end)
+        if self.stream is not None:
+            self.stream.unavailable(start, end)
 
     def add_idle(self, d: int, start: int, end: int, cause: str) -> None:
         self.outcomes[d].add_idle(start, end, cause)
+        if self.stream is not None:
+            self.stream.idle(start, end)
 
     def record_login(
         self, d: int, t: int, served: bool, faulted: bool = False
     ) -> None:
         self.outcomes[d].record_login(t, served=served, faulted=faulted)
+        if self.stream is not None:
+            self.stream.login(t, served, faulted)
 
     def record_workflow(self, d: int, t: int, kind: str) -> None:
         self.outcomes[d].record_workflow(t, kind)
+        if self.stream is not None:
+            self.stream.workflow(t, kind)
 
     def record_proactive_outcome(self, d: int, t: int, correct: bool) -> None:
         self.outcomes[d].record_proactive_outcome(t, correct=correct)
@@ -1072,6 +1088,12 @@ class ColumnarRegionEngine:
         heap = self._heap
         wake_epoch = self.s.wake_epoch
         obs_enabled = OBS.enabled
+        monitor = OBS.slo if obs_enabled else None
+        # Armed monitors cost one local float comparison per event; the
+        # method call happens only when the clock crosses a boundary.
+        next_eval = (
+            monitor.next_boundary if monitor is not None else float("inf")
+        )
         while heap and heap[0][0] <= end:
             time, _, kind, d, epoch = heapq.heappop(heap)
             if kind == EV_WAKE and epoch != wake_epoch[d]:
@@ -1081,6 +1103,9 @@ class ColumnarRegionEngine:
                 with OBS.tracer.span("engine.event", t=time):
                     self._dispatch(kind, d, time)
                 OBS.metrics.counter("engine.events_dispatched").inc()
+                if time >= next_eval:
+                    monitor.maybe_evaluate(time)
+                    next_eval = monitor.next_boundary
             else:
                 self._dispatch(kind, d, time)
             executed += 1
@@ -1196,6 +1221,21 @@ def simulate_region_columnar(
         if FAULTS.enabled and proactive
         else None
     )
+    stream = None
+    if OBS.enabled and OBS.metrics is not None:
+        from repro.observability.slo import KpiStream
+
+        stream = KpiStream(
+            OBS.metrics,
+            settings.eval_start,
+            settings.eval_end,
+            window_s=settings.slo_window_s,
+            labels=(
+                {"region": settings.region_label}
+                if settings.region_label
+                else None
+            ),
+        )
 
     ids = [trace.database_id for trace in traces]
     outcomes: List[DatabaseOutcome] = []
@@ -1255,7 +1295,7 @@ def simulate_region_columnar(
         config=config,
         sim_start=settings.sim_start,
         sim_end=settings.eval_end,
-        acct=StoreAccounting(outcomes),
+        acct=StoreAccounting(outcomes, stream=stream),
         hist=StoreHistory(stores) if proactive else NullHistory(),
         meta=StoreMetadata(metadata, ids),
         cluster=StoreCluster(cluster, ids),

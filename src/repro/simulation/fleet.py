@@ -44,6 +44,7 @@ from repro.core.policy import PolicyKind
 from repro.core.prediction_cache import PredictionCache
 from repro.errors import SimulationError
 from repro.faults.runtime import FAULTS
+from repro.observability.runtime import OBS
 from repro.parallel import resolve_executor
 from repro.simulation.columnar import (
     PH_PHYSICAL,
@@ -67,9 +68,15 @@ class LeanAccounting:
     :func:`repro.simulation.results.aggregate` only ever sums outcome
     fields, accumulating region totals per call yields the identical
     :class:`KpiReport` -- proven by the lean-vs-full equivalence tests.
+
+    ``stream`` (a :class:`repro.observability.slo.KpiStream`) mirrors the
+    KPI events into windowed SLO series as they happen; it only writes
+    metrics, so the accumulated totals stay byte-identical with it
+    attached.
     """
 
     __slots__ = (
+        "stream",
         "n",
         "eval_start",
         "eval_end",
@@ -91,10 +98,11 @@ class LeanAccounting:
         "wrong_proactive_resumes",
     )
 
-    def __init__(self, n: int, eval_start: int, eval_end: int):
+    def __init__(self, n: int, eval_start: int, eval_end: int, stream=None):
         self.n = n
         self.eval_start = eval_start
         self.eval_end = eval_end
+        self.stream = stream
         self.used_s = 0
         self.unavailable_s = 0
         self.maintenance_s = 0
@@ -122,11 +130,17 @@ class LeanAccounting:
 
     def add_used(self, d: int, start: int, end: int) -> None:
         self.used_s += self._clip(start, end)
+        if self.stream is not None:
+            self.stream.used(start, end)
 
     def add_unavailable(self, d: int, start: int, end: int) -> None:
         self.unavailable_s += self._clip(start, end)
+        if self.stream is not None:
+            self.stream.unavailable(start, end)
 
     def add_idle(self, d: int, start: int, end: int, cause: str) -> None:
+        if self.stream is not None:
+            self.stream.idle(start, end)
         clipped = self._clip(start, end)
         if cause == "logical_pause":
             self.logical_pause_idle_s += clipped
@@ -144,6 +158,8 @@ class LeanAccounting:
     ) -> None:
         if not self._in_window(t):
             return
+        if self.stream is not None:
+            self.stream.login(t, served, faulted)
         if served:
             self.logins_with_resources += 1
         else:
@@ -154,6 +170,8 @@ class LeanAccounting:
     def record_workflow(self, d: int, t: int, kind: str) -> None:
         if not self._in_window(t):
             return
+        if self.stream is not None:
+            self.stream.workflow(t, kind)
         if kind == "proactive_resume":
             self.proactive_resumes += 1
         elif kind == "reactive_resume":
@@ -571,7 +589,22 @@ def simulate_fleet(
     )
     preplaced = cluster.place_fleet(fleet.ids)
 
-    acct = LeanAccounting(n, settings.eval_start, settings.eval_end)
+    stream = None
+    if OBS.enabled and OBS.metrics is not None:
+        from repro.observability.slo import KpiStream
+
+        stream = KpiStream(
+            OBS.metrics,
+            settings.eval_start,
+            settings.eval_end,
+            window_s=settings.slo_window_s,
+            labels=(
+                {"region": settings.region_label}
+                if settings.region_label
+                else None
+            ),
+        )
+    acct = LeanAccounting(n, settings.eval_start, settings.eval_end, stream=stream)
     hist = (
         LeanHistory(
             fleet.sess_offsets,

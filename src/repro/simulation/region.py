@@ -89,10 +89,19 @@ class SimulationSettings:
     #: suite proves it -- so this is a representation knob, not a
     #: semantics knob.  Latency measurement always runs on the actors.
     engine: str = "columnar"
+    #: Region label attached to the live SLO streams (``region=...``);
+    #: empty means unlabelled series.  Purely observational: the KPI
+    #: ledgers are byte-identical with or without it.
+    region_label: str = ""
+    #: Window width (sim seconds) of the live SLO streams fed by the
+    #: columnar engines when observability is enabled.
+    slo_window_s: int = 900
 
     def __post_init__(self) -> None:
         if self.eval_end <= self.eval_start:
             raise SimulationError("eval_end must be after eval_start")
+        if self.slo_window_s <= 0:
+            raise SimulationError("slo_window_s must be positive")
         if self.engine not in ("columnar", "actor"):
             raise SimulationError(
                 f"unknown engine {self.engine!r} (choose 'columnar' or 'actor')"

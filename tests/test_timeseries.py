@@ -1,0 +1,243 @@
+"""Windowed time-series: absolute-window alignment, overflow folding,
+and executor-deterministic merges (`repro.observability.timeseries`)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProRPError
+from repro.observability import (
+    NULL_TRACER,
+    OBS,
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricsRegistry,
+    observed,
+)
+from repro.parallel import MultiprocessExecutor
+
+W = 900  # window width used throughout
+
+
+# ----------------------------------------------------------------------
+# Counter series
+# ----------------------------------------------------------------------
+
+
+class TestCounterSeries:
+    def test_windows_align_to_absolute_clock(self):
+        series = CounterSeries("c", window_s=W)
+        series.inc(0)
+        series.inc(W - 1)
+        series.inc(W)  # first instant of window 1
+        series.inc(2 * W + 10, n=3)
+        assert series.window_items() == [(0, 2), (W, 1), (2 * W, 3)]
+        assert series.total() == 6
+
+    def test_rollover_is_order_independent(self):
+        """Window contents are a function of timestamps, not call order."""
+        stamps = [(i * 137) % (10 * W) for i in range(200)]
+        ordered = CounterSeries("c", window_s=W)
+        shuffled = CounterSeries("c", window_s=W)
+        for t in stamps:
+            ordered.inc(t)
+        rng = random.Random(7)
+        rng.shuffle(stamps)
+        for t in stamps:
+            shuffled.inc(t)
+        assert ordered.window_items() == shuffled.window_items()
+        assert ordered.total() == shuffled.total()
+
+    def test_eviction_folds_into_overflow(self):
+        series = CounterSeries("c", window_s=W, capacity=2)
+        series.inc(0, n=5)
+        series.inc(W, n=7)
+        series.inc(2 * W, n=11)  # evicts window 0
+        assert series.window_items() == [(W, 7), (2 * W, 11)]
+        assert series.overflow == 5
+        assert series.dropped_windows == 1
+        assert series.total() == 23
+        # A late write into an evicted window still lands in the total.
+        series.inc(10, n=2)
+        assert series.total() == 25
+        assert series.overflow == 7
+
+    def test_add_interval_distributes_across_windows(self):
+        series = CounterSeries("c", window_s=W)
+        series.add_interval(100, 2 * W + 200)
+        assert series.window_items() == [(0, W - 100), (W, W), (2 * W, 200)]
+        assert series.total() == 2 * W + 100
+        series.add_interval(50, 50)  # empty interval: no-op
+        assert series.total() == 2 * W + 100
+
+    def test_sum_last_excludes_the_filling_window(self):
+        series = CounterSeries("c", window_s=W)
+        series.inc(0, n=1)
+        series.inc(W, n=2)
+        series.inc(2 * W, n=4)  # the window 2*W..3*W is still filling
+        assert series.sum_last(2 * W, W) == 2
+        assert series.sum_last(2 * W, 2 * W) == 3
+        assert series.sum_last(2 * W + 10, W) == 2
+
+    def test_validation(self):
+        with pytest.raises(ProRPError):
+            CounterSeries("c", window_s=0)
+        with pytest.raises(ProRPError):
+            CounterSeries("c", capacity=0)
+        series = CounterSeries("c")
+        with pytest.raises(ProRPError):
+            series.inc(0, n=-1)
+
+    def test_merge_rejects_mismatched_window(self):
+        a = CounterSeries("c", window_s=W)
+        b = CounterSeries("c", window_s=2 * W)
+        with pytest.raises(ProRPError):
+            a.merge(b)
+
+
+# ----------------------------------------------------------------------
+# Gauge series
+# ----------------------------------------------------------------------
+
+
+class TestGaugeSeries:
+    def test_last_write_wins_within_and_across_windows(self):
+        series = GaugeSeries("g", window_s=W)
+        assert series.last is None
+        series.set(10, 1)
+        series.set(20, 2)  # same window: later write wins
+        assert series.last == 2
+        series.set(W + 1, 9)
+        assert series.last == 9
+        assert series.window_items() == [(0, 2), (W, 9)]
+
+    def test_overflow_marker_preserves_last(self):
+        series = GaugeSeries("g", window_s=W, capacity=1)
+        series.set(0, 5)
+        series.set(W, 6)  # evicts window 0
+        series.set(5 * W, 7)  # evicts window 1
+        assert series.last == 7
+        series.windows.clear()
+        # Even with every window gone the newest evicted value survives.
+        assert series.last == 6
+
+    def test_max_last_over_complete_windows(self):
+        series = GaugeSeries("g", window_s=W)
+        series.set(0, 3)
+        series.set(W, 8)
+        series.set(2 * W, 1)
+        assert series.max_last(2 * W, 2 * W) == 8
+        assert series.max_last(10 * W, W) is None
+
+
+# ----------------------------------------------------------------------
+# Histogram series
+# ----------------------------------------------------------------------
+
+
+class TestHistogramSeries:
+    def test_percentiles_and_counts_per_window_span(self):
+        series = HistogramSeries("h", window_s=W, buckets=[1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 50.0):
+            series.observe(0, value)
+        series.observe(W, 5000.0)
+        assert series.total_count() == 5
+        assert series.count_last(W, W) == 4
+        p = series.percentile_last(W, W, 99.0)
+        assert 10.0 <= p <= 50.0  # interpolated, clamped to observed max
+        assert series.percentile_last(10 * W, W, 99.0) == 0.0
+        with pytest.raises(ProRPError):
+            series.percentile_last(W, W, 150.0)
+
+    def test_worst_exemplar_tracks_the_max_observation(self):
+        series = HistogramSeries("h", window_s=W, buckets=[10.0])
+        series.observe(0, 3.0, exemplar="span:a")
+        series.observe(0, 9.0, exemplar="span:b")
+        series.observe(W, 4.0, exemplar="span:c")
+        assert series.worst_exemplar() == (9.0, "span:b")
+
+    def test_bucket_layouts_must_match_for_merge(self):
+        a = HistogramSeries("h", window_s=W, buckets=[1.0, 2.0])
+        b = HistogramSeries("h", window_s=W, buckets=[1.0, 3.0])
+        with pytest.raises(ProRPError):
+            a.merge(b)
+        with pytest.raises(ProRPError):
+            HistogramSeries("h", buckets=[2.0, 1.0])
+
+
+# ----------------------------------------------------------------------
+# Merge determinism: serial == split-and-merged, any order
+# ----------------------------------------------------------------------
+
+
+def _record(series, stamps):
+    for t in stamps:
+        series.inc(t)
+
+
+class TestMergeDeterminism:
+    def test_split_merge_equals_serial(self):
+        stamps = [(i * 61) % (40 * W) for i in range(500)]
+        serial = CounterSeries("c", window_s=W, capacity=8)
+        _record(serial, stamps)
+        for split in (100, 250, 400):
+            left = CounterSeries("c", window_s=W, capacity=8)
+            right = CounterSeries("c", window_s=W, capacity=8)
+            _record(left, stamps[:split])
+            _record(right, stamps[split:])
+            left.merge(right)
+            assert left.window_items() == serial.window_items()
+            assert left.total() == serial.total()
+
+    def test_registry_merge_unifies_labelled_series(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter_series("s", window_s=W, labels={"region": "eu"}).inc(0, 2)
+        b.counter_series("s", window_s=W, labels={"region": "eu"}).inc(W, 3)
+        b.counter_series("s", window_s=W, labels={"region": "us"}).inc(0, 5)
+        a.merge(b)
+        eu = a.get("s", {"region": "eu"})
+        assert eu.window_items() == [(0, 2), (W, 3)]
+        assert a.get("s", {"region": "us"}).total() == 5
+
+
+# ----------------------------------------------------------------------
+# Multiprocess executor: pooled run == serial run
+# ----------------------------------------------------------------------
+
+
+def _windowed_worker(context, item):
+    """Sweep worker that streams into the ambient windowed series."""
+    if OBS.enabled:
+        OBS.metrics.counter_series("sweep.items", window_s=W).inc(
+            t=item * 300, n=1
+        )
+        OBS.metrics.histogram_series(
+            "sweep.value", window_s=W, buckets=[4.0, 16.0]
+        ).observe(item * 300, float(item))
+    return item
+
+
+class TestExecutorDeterminism:
+    def test_pooled_merge_matches_serial_run(self):
+        items = list(range(24))
+
+        with observed(tracer=NULL_TRACER) as serial_run:
+            MultiprocessExecutor(workers=1).run(_windowed_worker, None, items)
+            serial_counter = serial_run.metrics.get("sweep.items")
+            serial_hist = serial_run.metrics.get("sweep.value")
+
+        with observed(tracer=NULL_TRACER) as pooled_run:
+            executor = MultiprocessExecutor(workers=3, chunk_size=4)
+            executor.run(_windowed_worker, None, items)
+            if executor.last_stats.fallback_reason is not None:
+                pytest.skip("pool unavailable on this platform")
+            pooled_counter = pooled_run.metrics.get("sweep.items")
+            pooled_hist = pooled_run.metrics.get("sweep.value")
+
+        assert pooled_counter.window_items() == serial_counter.window_items()
+        assert pooled_counter.total() == serial_counter.total()
+        assert pooled_hist.merged_counts() == serial_hist.merged_counts()
+        assert pooled_hist.total_count() == serial_hist.total_count()
+        assert pooled_hist.total_sum() == serial_hist.total_sum()
