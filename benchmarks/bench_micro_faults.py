@@ -21,6 +21,11 @@ import time
 from repro.config import DEFAULT_CONFIG
 from repro.core.policy import PolicyKind
 from repro.core.predictor import LATENCY_FAULT_POINT
+from repro.controlplane.durability import (
+    CORRUPT_FAULT_POINT as WAL_CORRUPT_FAULT_POINT,
+    CRASH_FAULT_POINT as WAL_CRASH_FAULT_POINT,
+    TORN_FAULT_POINT as WAL_TORN_FAULT_POINT,
+)
 from repro.core.resume_service import SCAN_FAULT_POINT
 from repro.experiments.common import TEST_SCALE, region_fleet
 from repro.faults import FAULTS, FaultInjector, FaultPlan, FaultSpec, chaos
@@ -41,6 +46,12 @@ ALL_FAULT_POINTS = (
     RESTORE_FAULT_POINT,
     EXECUTE_FAULT_POINT,
     "cluster.node.crash",
+    # The controlplane.wal.* family is consulted by WriteAheadLog.append,
+    # not by a fleet simulation -- listed here so the catalog stays the
+    # docs/resilience.md superset (zero consults expected below).
+    WAL_CRASH_FAULT_POINT,
+    WAL_TORN_FAULT_POINT,
+    WAL_CORRUPT_FAULT_POINT,
 )
 
 

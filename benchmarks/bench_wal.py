@@ -1,0 +1,407 @@
+"""Write-ahead-log benchmark: what control-plane durability costs.
+
+Three sections, written to ``BENCH_wal.json`` (full) or
+``BENCH_wal_quick.json`` (``--quick``, the CI baseline):
+
+* **append**: raw WAL append throughput across the two commit
+  disciplines -- fsync-per-record (strict durability) and group commit
+  (``fsync=False``: OS page cache, fsync on rotation/checkpoint/close).
+  Every appended record must come back from ``read_log``.
+* **recovery**: wall-clock to recover a ledger produced by a driven
+  :class:`~repro.controlplane.durability.DurableWorkflowEngine`, on the
+  graceful path (newest checkpoint, empty replay suffix) and on the
+  checkpoint-loss path (full WAL replay from the open record).  Both
+  recoveries must restore byte-identical state, every workflow must hold
+  at most one terminal record (exactly-once), and restarting from the
+  checkpoint must beat the full replay -- the ratio
+  ``recovery.checkpoint_speedup`` is the regression-gated headline.
+* **overhead**: scenario-level cost of journaling, measured where it
+  matters -- a full synthetic control-plane day (schedule derived from a
+  region simulation, driven through the diagnostics runner) with the
+  durable engine in group-commit mode versus the plain in-memory
+  :class:`~repro.controlplane.workflows.WorkflowEngine`.  The armed
+  fraction must stay under 5%; periodic checkpoint cost is reported
+  separately (it is a cadence knob, not a per-transition tax).  Like the
+  other wall-clock ratios, the 5% gate is asserted only by the full
+  (local) run -- a quick run on a shared CI runner is too noisy.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py          # full
+    PYTHONPATH=src python benchmarks/bench_wal.py --quick  # CI baseline
+    PYTHONPATH=src python benchmarks/bench_wal.py --quick --out /tmp/fresh.json
+
+or through pytest (quick scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_wal.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List
+
+from repro.controlplane.diagnostics import DiagnosticsRunner
+from repro.controlplane.durability import (
+    DurableWorkflowEngine,
+    WriteAheadLog,
+    checkpoint_paths,
+    read_log,
+    terminal_record_counts,
+)
+from repro.controlplane.workflows import (
+    STUCK_POINT,
+    WorkflowEngine,
+    WorkflowKind,
+)
+from repro.experiments.common import ExperimentScale
+from repro.experiments.crash_recovery import _drive, derive_workflow_schedule
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.workload.regions import RegionPreset
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_wal.json"
+QUICK_BASELINE_PATH = RESULTS_DIR / "BENCH_wal_quick.json"
+
+ARMED_OVERHEAD_LIMIT = 0.05
+
+
+# -- append -------------------------------------------------------------
+
+
+def _synthetic_record(i: int) -> dict:
+    return {
+        "type": "started",
+        "wf": i,
+        "at": 30 * (i // 4),
+        "lsn": i,
+    }
+
+
+def _append_run(directory: Path, n: int, fsync: bool) -> dict:
+    wal = WriteAheadLog(directory, segment_max_bytes=256 << 10, fsync=fsync)
+    total_bytes = 0
+    start = time.perf_counter()
+    for i in range(n):
+        total_bytes += wal.append(_synthetic_record(i))
+    elapsed = time.perf_counter() - start
+    wal.close()
+    records, truncated = read_log(directory, repair=False)
+    return {
+        "records": n,
+        "bytes": total_bytes,
+        "segments": wal.segment_count,
+        "wall_s": round(elapsed, 4),
+        "records_per_s": round(n / elapsed, 1),
+        "us_per_record": round(elapsed / n * 1e6, 2),
+        "recovered": len(records),
+        "truncated_bytes": truncated,
+    }
+
+
+def _append_section(quick: bool) -> dict:
+    n_fsync = 400 if quick else 2000
+    n_group = 20_000 if quick else 200_000
+    with tempfile.TemporaryDirectory() as tmp:
+        fsync_run = _append_run(Path(tmp) / "fsync", n_fsync, fsync=True)
+        group_run = _append_run(Path(tmp) / "group", n_group, fsync=False)
+    all_recovered = (
+        fsync_run["recovered"] == n_fsync
+        and group_run["recovered"] == n_group
+        and fsync_run["truncated_bytes"] == 0
+        and group_run["truncated_bytes"] == 0
+    )
+    return {
+        "fsync_per_record": fsync_run,
+        "group_commit": group_run,
+        "fsync_slowdown": round(
+            fsync_run["us_per_record"] / group_run["us_per_record"], 2
+        ),
+        "all_records_recovered": int(all_recovered),
+    }
+
+
+# -- recovery -----------------------------------------------------------
+
+
+def _drive_synthetic_ledger(
+    directory: Path, n_workflows: int, compact: bool
+) -> dict:
+    """Fill a WAL directory by running ``n_workflows`` through a durable
+    engine with a mid-strength stuck rate, then close gracefully.  With
+    ``compact`` the standard ops pairing runs before close: checkpoint,
+    then drop the WAL segments the checkpoint covers."""
+    rng = random.Random(20260809)
+    plan = FaultPlan.of(FaultSpec(STUCK_POINT, probability=0.2))
+    engine = DurableWorkflowEngine(
+        directory,
+        max_concurrent=64,
+        default_duration_s=45,
+        plan=plan,
+        seed=7,
+        checkpoint_every=512,
+        segment_max_bytes=128 << 10,
+        fsync=False,
+    )
+    runner = DiagnosticsRunner(engine, stuck_after_s=60, max_retries=2)
+    kinds = list(WorkflowKind)
+    now = 0
+    submitted = 0
+    while submitted < n_workflows or not engine.drained():
+        burst = min(rng.randrange(0, 6), n_workflows - submitted)
+        for _ in range(burst):
+            engine.submit(kinds[submitted % 3], f"db-{submitted % 40}", now)
+            submitted += 1
+        runner.run_once(now)
+        engine.tick(now)
+        now += 30
+    state = engine.state_doc()
+    stats = engine.wal_stats()
+    if compact:
+        engine.checkpoint()
+        engine.compact()
+    engine.close()
+    # Read the ledger only after close has flushed the group-commit
+    # buffer (an un-compacted log holds every record).
+    ledger, _ = read_log(directory, repair=False)
+    return {"state": state, "stats": stats, "ledger": ledger}
+
+
+def _time_recover(directory: Path, reps: int) -> tuple:
+    best = float("inf")
+    engine = None
+    for _ in range(reps):
+        if engine is not None:
+            engine.close()
+        start = time.perf_counter()
+        engine = DurableWorkflowEngine.recover(directory)
+        best = min(best, time.perf_counter() - start)
+    info = dict(engine.recovery_info)
+    state = engine.state_doc()
+    ledger = engine.read_ledger()
+    engine.close()
+    return best, info, state, ledger
+
+
+def _recovery_section(quick: bool) -> dict:
+    n_workflows = 3000 if quick else 20_000
+    reps = 3 if quick else 5
+    with tempfile.TemporaryDirectory() as tmp:
+        # Two identically-driven ledgers: one closed through the ops
+        # pairing (checkpoint + compact) for the graceful-restart
+        # measurement, one kept whole so deleting its checkpoints forces
+        # the full-replay fallback.  (Compaction drops the open record
+        # with the early segments, so the compacted log *needs* its
+        # checkpoint -- the two paths cannot share a directory.)
+        graceful_dir = Path(tmp) / "graceful"
+        replay_dir = Path(tmp) / "replay"
+        live = _drive_synthetic_ledger(graceful_dir, n_workflows, compact=True)
+        whole = _drive_synthetic_ledger(replay_dir, n_workflows, compact=False)
+        assert whole["state"] == live["state"], (
+            "identical drives produced different states"
+        )
+
+        graceful_s, graceful_info, graceful_state, _ = _time_recover(
+            graceful_dir, reps
+        )
+        graceful_identical = graceful_state == live["state"]
+
+        # Checkpoint loss: delete every checkpoint generation and recover
+        # again -- the engine must fall back to a full replay from the
+        # WAL's open record and land in the very same state.  (Recovering
+        # instances re-checkpoint on close, so the deletion repeats.)
+        replay_s = float("inf")
+        for _ in range(reps):
+            for path in checkpoint_paths(replay_dir):
+                path.unlink()
+            start = time.perf_counter()
+            recovered = DurableWorkflowEngine.recover(replay_dir)
+            replay_s = min(replay_s, time.perf_counter() - start)
+            replay_info = dict(recovered.recovery_info)
+            replay_identical = recovered.state_doc() == live["state"]
+            recovered.close()
+
+    terminals = terminal_record_counts(whole["ledger"])
+    exactly_once = all(count == 1 for count in terminals.values())
+    none_lost = len(terminals) == n_workflows
+    return {
+        "workflows": n_workflows,
+        "wal_records": live["stats"]["records_appended"],
+        "segments": live["stats"]["segments"],
+        "graceful_recover_ms": round(graceful_s * 1e3, 3),
+        "graceful_replayed": graceful_info["replayed"],
+        "full_replay_ms": round(replay_s * 1e3, 3),
+        "full_replayed": replay_info["replayed"],
+        "checkpoint_speedup": round(replay_s / graceful_s, 2),
+        "identical": int(graceful_identical and replay_identical),
+        "exactly_once_ok": int(exactly_once and none_lost),
+    }
+
+
+# -- overhead -----------------------------------------------------------
+
+
+def _scenario_day(engine, scale: ExperimentScale) -> None:
+    schedule = derive_workflow_schedule(RegionPreset.EU1, scale)
+    runner = DiagnosticsRunner(engine, stuck_after_s=60, max_retries=2)
+    _drive(engine, runner, schedule, scale.eval_start, scale.eval_end, 30)
+
+
+def _overhead_section(quick: bool) -> dict:
+    scale = ExperimentScale(n_databases=120 if quick else 400, eval_days=1)
+    reps = 3 if quick else 5
+    plan = FaultPlan.of(FaultSpec(STUCK_POINT, probability=0.08))
+    derive_workflow_schedule(RegionPreset.EU1, scale)  # warm trace caches
+
+    inmem_s = float("inf")
+    for _ in range(reps):
+        engine = WorkflowEngine(
+            max_concurrent=100,
+            default_duration_s=45,
+            injector=FaultInjector(plan, seed=0),
+        )
+        start = time.perf_counter()
+        _scenario_day(engine, scale)
+        inmem_s = min(inmem_s, time.perf_counter() - start)
+
+    armed_s = float("inf")
+    wal_records = 0
+    checkpoint_ms = 0.0
+    with tempfile.TemporaryDirectory() as tmp:
+        for rep in range(reps):
+            engine = DurableWorkflowEngine(
+                Path(tmp) / f"day-{rep}",
+                max_concurrent=100,
+                default_duration_s=45,
+                plan=plan,
+                seed=0,
+                checkpoint_every=0,  # cadence cost is reported separately
+                fsync=False,
+            )
+            start = time.perf_counter()
+            _scenario_day(engine, scale)
+            armed_s = min(armed_s, time.perf_counter() - start)
+            wal_records = engine.wal_stats()["records_appended"]
+            start = time.perf_counter()
+            engine.checkpoint()
+            checkpoint_ms = (time.perf_counter() - start) * 1e3
+            engine.close()
+
+    overhead = max(0.0, (armed_s - inmem_s) / inmem_s)
+    return {
+        "n_databases": scale.n_databases,
+        "inmem_s": round(inmem_s, 4),
+        "armed_s": round(armed_s, 4),
+        "wal_records": wal_records,
+        "armed_overhead_fraction": round(overhead, 6),
+        "armed_overhead_limit": ARMED_OVERHEAD_LIMIT,
+        "checkpoint_ms": round(checkpoint_ms, 3),
+    }
+
+
+# -- harness ------------------------------------------------------------
+
+
+def run_bench(quick: bool = False) -> dict:
+    return {
+        "quick": quick,
+        "append": _append_section(quick),
+        "recovery": _recovery_section(quick),
+        "overhead": _overhead_section(quick),
+    }
+
+
+def _check(result: dict) -> None:
+    append = result["append"]
+    assert append["all_records_recovered"], (
+        "read_log did not return every appended record"
+    )
+    recovery = result["recovery"]
+    assert recovery["identical"], (
+        "recovery did not restore byte-identical engine state"
+    )
+    assert recovery["exactly_once_ok"], (
+        "recovered ledger duplicated or lost a workflow"
+    )
+    assert recovery["full_replayed"] > 0, "full replay replayed nothing"
+    assert recovery["checkpoint_speedup"] > 1.0, (
+        f"checkpoint restart ({recovery['graceful_recover_ms']} ms) did not "
+        f"beat full replay ({recovery['full_replay_ms']} ms)"
+    )
+    if not result["quick"]:
+        overhead = result["overhead"]
+        assert (
+            overhead["armed_overhead_fraction"]
+            < overhead["armed_overhead_limit"]
+        ), (
+            f"group-commit journaling costs "
+            f"{overhead['armed_overhead_fraction']:.2%} of the scenario day "
+            f"(limit {overhead['armed_overhead_limit']:.0%})"
+        )
+
+
+def _report(result: dict) -> str:
+    append, recovery, overhead = (
+        result["append"],
+        result["recovery"],
+        result["overhead"],
+    )
+    return "\n".join(
+        [
+            "WAL durability" + (" (quick)" if result["quick"] else ""),
+            f"  append: fsync {append['fsync_per_record']['us_per_record']} "
+            f"us/rec ({append['fsync_per_record']['records_per_s']}/s), "
+            f"group commit {append['group_commit']['us_per_record']} us/rec "
+            f"({append['group_commit']['records_per_s']}/s, "
+            f"{append['group_commit']['segments']} segments), "
+            f"fsync slowdown {append['fsync_slowdown']}x",
+            f"  recovery at {recovery['workflows']} workflows "
+            f"({recovery['wal_records']} records, "
+            f"{recovery['segments']} segments): graceful "
+            f"{recovery['graceful_recover_ms']} ms "
+            f"({recovery['graceful_replayed']} replayed), full replay "
+            f"{recovery['full_replay_ms']} ms "
+            f"({recovery['full_replayed']} replayed), checkpoint speedup "
+            f"{recovery['checkpoint_speedup']}x, identical: "
+            f"{bool(recovery['identical'])}, exactly-once: "
+            f"{bool(recovery['exactly_once_ok'])}",
+            f"  overhead at {overhead['n_databases']} dbs: armed "
+            f"{overhead['armed_s']}s vs in-memory {overhead['inmem_s']}s "
+            f"(+{overhead['armed_overhead_fraction']:.3%}, limit "
+            f"{overhead['armed_overhead_limit']:.0%}), "
+            f"{overhead['wal_records']} records journaled, checkpoint "
+            f"{overhead['checkpoint_ms']} ms",
+        ]
+    )
+
+
+def bench_wal(record_table) -> None:
+    """Pytest entry: quick scale, deterministic assertions only."""
+    result = run_bench(quick=True)
+    record_table("wal", _report(result))
+    _check(result)
+
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    else:
+        out = QUICK_BASELINE_PATH if quick else BASELINE_PATH
+    result = run_bench(quick=quick)
+    print(_report(result))
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    _check(result)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -180,6 +180,33 @@ CHECKS: Tuple[object, ...] = (
         value="alert_roundtrip.ok",
         positive=True,
     ),
+    BoundCheck(
+        "BENCH_wal_quick.json",
+        "WAL append: every journaled record recovered",
+        value="append.all_records_recovered",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_wal_quick.json",
+        "WAL recovery restores byte-identical engine state",
+        value="recovery.identical",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_wal_quick.json",
+        "WAL recovery is exactly-once: no workflow duplicated or lost",
+        value="recovery.exactly_once_ok",
+        positive=True,
+    ),
+    RatioCheck(
+        "BENCH_wal_quick.json",
+        "checkpointed restart beats full WAL replay",
+        ("recovery.checkpoint_speedup",),
+    ),
+    # The armed journaling overhead fraction (<5% of a scenario day) is
+    # asserted by the full (local) bench run only, for the same reason as
+    # the SLO armed-vs-disarmed ratio above: quick-run wall clocks on a
+    # shared CI runner are too noisy to gate a few-percent fraction.
 )
 
 

@@ -121,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
         "clear the stock alerts, and the streaming KPI series must "
         "reconcile with the offline telemetry (docs/observability.md)",
     )
+    chaos.add_argument(
+        "--crash-recovery",
+        action="store_true",
+        help="run the control-plane crash-recovery scenario instead of "
+        "the rate sweep: kill the durable workflow engine at a random "
+        "journal append mid-day, recover from WAL + checkpoint, and "
+        "require byte-identical KPI reports and per-database outcome "
+        "ledgers with every workflow executed exactly once "
+        "(docs/durability.md)",
+    )
+    chaos.add_argument(
+        "--crash-mode",
+        choices=["crash", "torn", "corrupt"],
+        default=None,
+        help="with --crash-recovery: how the journal append dies "
+        "(default: seeded random choice)",
+    )
 
     digest = sub.add_parser(
         "digest", help="full operator report: all policies + drill-downs"
@@ -199,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --once: issue a 'metrics' request after the scripted "
         "batch and write its OpenMetrics body to PATH (implies "
         "observability on)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="PATH", default=None,
+        help="durable control-plane directory: resume-scan pre-warms are "
+        "journaled as PROACTIVE_RESUME workflows to a WAL here, stop() "
+        "checkpoints it, and an existing directory is recovered on "
+        "startup (docs/durability.md)",
     )
     return parser
 
@@ -400,6 +424,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.faults import FaultPlan
 
+    if args.crash_recovery:
+        from repro.experiments.crash_recovery import run_crash_recovery
+
+        result = run_crash_recovery(
+            scale=_scale(args),
+            preset=RegionPreset(args.region),
+            crash_mode=args.crash_mode,
+            seed=args.seed,
+        )
+        print(result.table())
+        if not result.ok:
+            print(
+                "FAIL: crash recovery diverged "
+                f"(crashed={result.crashed}, "
+                f"reports_identical={result.reports_identical}, "
+                f"ledgers_identical={result.ledgers_identical}, "
+                f"exactly_once={result.exactly_once}, "
+                f"none_lost={result.none_lost})"
+            )
+            return 1
+        print(
+            "OK: recovered run byte-identical to uninterrupted run; "
+            "every workflow executed exactly once"
+        )
+        return 0
+
     if args.slo_scenario:
         result = run_slo_chaos(
             scale=_scale(args), preset=RegionPreset(args.region)
@@ -509,7 +559,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
             from repro.observability import SloMonitor, serving_slos
 
             slo_monitor = SloMonitor(OBS.metrics, serving_slos())
-        server = PredictionServer(settings=settings, slo_monitor=slo_monitor)
+        control_plane = None
+        if args.state_dir:
+            from repro.controlplane.durability import (
+                DurableWorkflowEngine,
+                segment_paths,
+            )
+
+            if segment_paths(args.state_dir):
+                control_plane = DurableWorkflowEngine.recover(args.state_dir)
+                info = control_plane.recovery_info
+                print(
+                    f"recovered control plane from {args.state_dir}: "
+                    f"{len(control_plane.workflows)} workflows "
+                    f"({info['replayed']} replayed past checkpoint "
+                    f"lsn {info['checkpoint_lsn']})"
+                )
+            else:
+                control_plane = DurableWorkflowEngine(args.state_dir)
+        server = PredictionServer(
+            settings=settings,
+            slo_monitor=slo_monitor,
+            control_plane=control_plane,
+        )
         for i, logins in enumerate(fleets):
             server.register_database(
                 args.region, f"db-{i}", logins, paused=True

@@ -14,6 +14,7 @@ stuck workflows and escalates to incidents.
 """
 
 from repro.controlplane.diagnostics import DiagnosticsRunner, Incident
+from repro.controlplane.durability import DurableWorkflowEngine, WriteAheadLog
 from repro.controlplane.workflows import (
     CRASH_POINT,
     STUCK_POINT,
@@ -31,5 +32,7 @@ __all__ = [
     "WorkflowKind",
     "WorkflowState",
     "DiagnosticsRunner",
+    "DurableWorkflowEngine",
+    "WriteAheadLog",
     "Incident",
 ]

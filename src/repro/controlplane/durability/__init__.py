@@ -1,0 +1,57 @@
+"""Durable event-sourced control plane: WAL, checkpoints, recovery.
+
+The in-memory :class:`~repro.controlplane.workflows.WorkflowEngine` loses
+every queued resume/pause workflow when the control plane dies.  This
+package gives it a durability spine:
+
+* :mod:`~repro.controlplane.durability.wal` -- an append-only, segmented,
+  checksummed write-ahead log journaling every workflow state transition
+  before it is applied;
+* :mod:`~repro.controlplane.durability.checkpoint` -- periodic crash-safe
+  full-state checkpoints bounding recovery replay to the WAL suffix;
+* :mod:`~repro.controlplane.durability.engine` -- the
+  :class:`DurableWorkflowEngine` tying both together with exactly-once
+  crash recovery.
+
+See ``docs/durability.md`` for the format and recovery semantics.
+"""
+
+from repro.controlplane.durability.checkpoint import (
+    CHECKPOINT_VERSION,
+    KEEP_CHECKPOINTS,
+    checkpoint_paths,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.controlplane.durability.engine import (
+    DurableWorkflowEngine,
+    terminal_record_counts,
+)
+from repro.controlplane.durability.wal import (
+    CORRUPT_FAULT_POINT,
+    CRASH_FAULT_POINT,
+    RECORD_MAGIC,
+    TORN_FAULT_POINT,
+    WriteAheadLog,
+    encode_record,
+    read_log,
+    segment_paths,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "KEEP_CHECKPOINTS",
+    "CORRUPT_FAULT_POINT",
+    "CRASH_FAULT_POINT",
+    "TORN_FAULT_POINT",
+    "RECORD_MAGIC",
+    "DurableWorkflowEngine",
+    "WriteAheadLog",
+    "checkpoint_paths",
+    "encode_record",
+    "load_latest_checkpoint",
+    "read_log",
+    "segment_paths",
+    "terminal_record_counts",
+    "write_checkpoint",
+]

@@ -1,0 +1,290 @@
+"""Segmented, checksummed write-ahead log for the control plane.
+
+Every workflow state transition is appended here *before* the in-memory
+engine applies it (journal-before-apply), so a control-plane crash loses
+at most the transition whose append was interrupted -- and that
+transition, having never been applied, is simply re-decided after
+recovery.
+
+Record layout (little-endian), one record after another inside a segment
+file::
+
+    +--------+----------------+---------------+-----------------+
+    | magic  | payload length | crc32(payload)| payload (JSON)  |
+    | 4 B    | u32            | u32           | length bytes    |
+    +--------+----------------+---------------+-----------------+
+
+The payload is canonical JSON (sorted keys, compact separators) so a
+record's bytes are a pure function of its document.  Segments are named
+``wal-<seq:08d>.seg`` and rotate once they exceed ``segment_max_bytes``;
+rotation closes (and fsyncs) the old segment, so only the last segment
+can ever hold a torn tail.
+
+Replay walks the segments in order and verifies every record.  A record
+that fails verification in the *last* segment is a torn tail -- the
+classic crash-mid-append artifact -- and is truncated away together with
+anything after it; the journaled-but-unapplied transition it held never
+happened, which is exactly the crash semantics the engine recovers under.
+A bad record in any *earlier* segment cannot be explained by a crash
+(rotation fsyncs) and raises :class:`~repro.errors.WalCorruptionError`.
+
+Fault points (armed via ``repro.faults``; the ``controlplane.wal.*``
+family, consulted with the engine's sim-time ``now`` so plans can window
+them mid-day):
+
+* ``controlplane.wal.crash`` -- the control plane dies *before* the
+  record reaches the log: nothing is written, the append raises
+  :class:`~repro.errors.ControlPlaneCrashError`.
+* ``controlplane.wal.torn`` -- the process dies mid-write: a prefix of
+  the record lands on disk, then the crash error is raised.  Recovery
+  must truncate the partial record.
+* ``controlplane.wal.corrupt`` -- the record is written full-length but
+  with one payload byte flipped (a medium error at crash time), then the
+  crash error is raised.  Recovery must detect the checksum mismatch and
+  truncate the tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ControlPlaneCrashError, WalCorruptionError, WalError
+from repro.faults.runtime import FAULTS
+from repro.observability.runtime import OBS
+
+#: Per-record magic; also the format version tag (bump on layout change).
+RECORD_MAGIC = b"PRW1"
+
+#: ``magic + length + crc32`` -- the fixed record header.
+HEADER = struct.Struct("<4sII")
+
+#: Fault point: the control plane dies before the append writes anything.
+CRASH_FAULT_POINT = "controlplane.wal.crash"
+
+#: Fault point: the append writes a torn (partial) record, then dies.
+TORN_FAULT_POINT = "controlplane.wal.torn"
+
+#: Fault point: the append writes a corrupted tail record, then dies.
+CORRUPT_FAULT_POINT = "controlplane.wal.corrupt"
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def encode_record(document: Dict[str, object]) -> bytes:
+    """One record's bytes: fixed header plus canonical-JSON payload."""
+    payload = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return HEADER.pack(RECORD_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def _segment_path(directory: Path, seq: int) -> Path:
+    return directory / f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+
+
+def segment_paths(directory: Union[str, Path]) -> List[Path]:
+    """Existing segment files in log order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p
+        for p in directory.iterdir()
+        if p.name.startswith(_SEGMENT_PREFIX)
+        and p.name.endswith(_SEGMENT_SUFFIX)
+    )
+
+
+def _scan_segment(raw: bytes) -> Tuple[List[Dict[str, object]], int]:
+    """Parse one segment's bytes; returns ``(records, clean_length)``
+    where ``clean_length`` is the offset of the first bad/partial record
+    (== ``len(raw)`` for a fully clean segment)."""
+    records: List[Dict[str, object]] = []
+    offset = 0
+    while offset < len(raw):
+        header = raw[offset : offset + HEADER.size]
+        if len(header) < HEADER.size:
+            return records, offset
+        magic, length, crc = HEADER.unpack(header)
+        if magic != RECORD_MAGIC:
+            return records, offset
+        start = offset + HEADER.size
+        payload = raw[start : start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return records, offset
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return records, offset
+        if not isinstance(document, dict):
+            return records, offset
+        records.append(document)
+        offset = start + length
+    return records, offset
+
+
+def read_log(
+    directory: Union[str, Path], repair: bool = True
+) -> Tuple[List[Dict[str, object]], int]:
+    """Replay a WAL directory; returns ``(records, truncated_bytes)``.
+
+    With ``repair`` (the recovery path), a torn tail in the last segment
+    is truncated in place so subsequent appends extend a clean log; with
+    ``repair=False`` the log is only read (tail bytes still excluded from
+    the returned records).  Corruption anywhere but the last segment's
+    tail raises :class:`WalCorruptionError` -- that is data loss a crash
+    cannot explain, and recovering past it would silently drop
+    transitions.
+    """
+    paths = segment_paths(directory)
+    records: List[Dict[str, object]] = []
+    truncated = 0
+    for index, path in enumerate(paths):
+        raw = path.read_bytes()
+        segment_records, clean_length = _scan_segment(raw)
+        if clean_length != len(raw):
+            if index != len(paths) - 1:
+                raise WalCorruptionError(
+                    f"WAL segment {path.name} holds a corrupt record at "
+                    f"offset {clean_length} before the log tail: refusing "
+                    "to recover past silent data loss"
+                )
+            truncated = len(raw) - clean_length
+            if repair:
+                with open(path, "r+b") as handle:
+                    handle.truncate(clean_length)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        records.extend(segment_records)
+    return records, truncated
+
+
+class WriteAheadLog:
+    """Append side of the log.  One writer per directory.
+
+    ``fsync`` selects the commit discipline: ``True`` flushes every
+    append to stable storage (strict durability, slow), ``False`` leaves
+    appends in the OS page cache and fsyncs only on rotation, checkpoint,
+    and close (group commit -- the benchmark's armed-overhead mode).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        segment_max_bytes: int = 1 << 20,
+        fsync: bool = True,
+    ):
+        if segment_max_bytes <= 0:
+            raise WalError("segment_max_bytes must be positive")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._segment_max_bytes = segment_max_bytes
+        self._fsync = fsync
+        self._handle = None
+        self._segment_bytes = 0
+        self.records_appended = 0
+        existing = segment_paths(self._directory)
+        if existing:
+            # Append after the existing tail (the recovery path has
+            # already truncated any torn record via read_log).
+            last = existing[-1]
+            self._segment_seq = int(
+                last.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+            )
+            self._handle = open(last, "ab")
+            self._segment_bytes = last.stat().st_size
+        else:
+            self._segment_seq = 0
+            self._open_segment()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def segment_count(self) -> int:
+        return len(segment_paths(self._directory))
+
+    def _open_segment(self) -> None:
+        self._handle = open(_segment_path(self._directory, self._segment_seq), "ab")
+        self._segment_bytes = self._handle.tell()
+
+    def _rotate(self) -> None:
+        self.sync()
+        self._handle.close()
+        self._segment_seq += 1
+        self._open_segment()
+        if OBS.enabled:
+            OBS.metrics.gauge("workflow.wal.segments").set(self.segment_count)
+
+    def sync(self) -> None:
+        """Flush buffered appends to stable storage."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self.sync()
+            self._handle.close()
+
+    # -- append --------------------------------------------------------
+
+    def append(
+        self, document: Dict[str, object], now: Optional[int] = None
+    ) -> int:
+        """Durably journal one record; returns its size in bytes.
+
+        ``now`` is the engine's sim-time, forwarded to the
+        ``controlplane.wal.*`` fault points so chaos plans can schedule a
+        crash mid-day.
+        """
+        if self._handle is None or self._handle.closed:
+            raise WalError("append on a closed WriteAheadLog")
+        started = time.perf_counter()
+        record = encode_record(document)
+        if FAULTS.enabled and FAULTS.injector is not None:
+            injector = FAULTS.injector
+            if injector.should_fire(CRASH_FAULT_POINT, now):
+                raise ControlPlaneCrashError(
+                    "injected: control plane died before journaling "
+                    f"{document.get('type', '?')!r}"
+                )
+            if injector.should_fire(TORN_FAULT_POINT, now):
+                torn = record[: HEADER.size + max(1, (len(record) - HEADER.size) // 2)]
+                self._handle.write(torn)
+                self.sync()
+                raise ControlPlaneCrashError(
+                    "injected: control plane died mid-append (torn record)"
+                )
+            if injector.should_fire(CORRUPT_FAULT_POINT, now):
+                corrupt = bytearray(record)
+                corrupt[HEADER.size] ^= 0xFF  # flip a payload byte
+                self._handle.write(bytes(corrupt))
+                self.sync()
+                raise ControlPlaneCrashError(
+                    "injected: control plane died leaving a corrupt tail"
+                )
+        self._handle.write(record)
+        if self._fsync:
+            self.sync()
+        self._segment_bytes += len(record)
+        self.records_appended += 1
+        if OBS.enabled:
+            OBS.metrics.counter("workflow.wal.records").inc()
+            OBS.metrics.counter("workflow.wal.bytes").inc(len(record))
+            OBS.metrics.histogram("workflow.wal.append_ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
+        if self._segment_bytes >= self._segment_max_bytes:
+            self._rotate()
+        return len(record)

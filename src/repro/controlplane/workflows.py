@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.errors import WorkflowError
 from repro.faults.injector import FaultInjector
@@ -74,6 +74,14 @@ class WorkflowEngine:
     from ``stuck_probability``/``seed``, and callers (chaos experiments)
     may pass their own ``injector`` with :data:`STUCK_POINT` and/or
     :data:`CRASH_POINT` specs to drive richer failure schedules.
+
+    ``journal`` is the durability hook: when set, it is called with one
+    plain-dict event *before* the corresponding state mutation is applied
+    (journal-before-apply).  :class:`repro.controlplane.durability.engine.
+    DurableWorkflowEngine` points it at a write-ahead log so every
+    transition is on stable storage before the in-memory state reflects
+    it; if the journal call raises (an injected control-plane crash), the
+    mutation never happens.
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class WorkflowEngine:
         stuck_probability: float = 0.0,
         seed: int = 0,
         injector: Optional[FaultInjector] = None,
+        journal: Optional[Callable[[Dict[str, object]], None]] = None,
     ):
         if max_concurrent <= 0:
             raise WorkflowError("max_concurrent must be positive")
@@ -99,10 +108,15 @@ class WorkflowEngine:
             )
             injector = FaultInjector(plan, seed=seed)
         self._injector = injector
+        self._journal = journal
         self._next_id = 0
         self._pending: Deque[Workflow] = deque()
         self._running: List[Workflow] = []
         self.workflows: Dict[int, Workflow] = {}
+
+    def _emit(self, event: Dict[str, object]) -> None:
+        if self._journal is not None:
+            self._journal(event)
 
     @property
     def injector(self) -> FaultInjector:
@@ -126,6 +140,16 @@ class WorkflowEngine:
             database_id=database_id,
             submitted_at=now,
             duration_s=duration_s if duration_s is not None else self._default_duration_s,
+        )
+        self._emit(
+            {
+                "type": "submitted",
+                "wf": workflow.workflow_id,
+                "kind": kind.value,
+                "db": database_id,
+                "at": now,
+                "duration_s": workflow.duration_s,
+            }
         )
         self._next_id += 1
         self.workflows[workflow.workflow_id] = workflow
@@ -154,33 +178,58 @@ class WorkflowEngine:
 
     def _tick(self, now: int) -> List[Workflow]:
         completed: List[Workflow] = []
-        still_running: List[Workflow] = []
-        for workflow in self._running:
+        # Each completion is journaled and applied in full before the next
+        # one is considered: an exception from the journal hook must leave
+        # every earlier transition fully applied (including its removal
+        # from the running list) and the interrupted one not at all.
+        index = 0
+        while index < len(self._running):
+            workflow = self._running[index]
             if workflow.state is WorkflowState.STUCK:
-                still_running.append(workflow)
+                index += 1
                 continue
             if workflow.started_at + workflow.duration_s <= now:
+                self._emit(
+                    {"type": "succeeded", "wf": workflow.workflow_id, "at": now}
+                )
+                self._running.pop(index)
                 workflow.state = WorkflowState.SUCCEEDED
                 workflow.finished_at = now
                 completed.append(workflow)
             else:
-                still_running.append(workflow)
-        self._running = still_running
+                index += 1
         while self._pending and len(self._running) < self._max_concurrent:
-            workflow = self._pending.popleft()
+            # Peek, don't pop: the dequeue is part of the state mutation
+            # and must not happen until the decision is journaled -- a
+            # failed journal append would otherwise lose the workflow
+            # from both queues.
+            workflow = self._pending[0]
             if self._injector.should_fire(CRASH_POINT, now):
                 # The workflow dies outright: terminal, one incident-worthy
                 # failure, never enters the running set.
+                self._emit(
+                    {"type": "crashed", "wf": workflow.workflow_id, "at": now}
+                )
+                self._pending.popleft()
                 workflow.state = WorkflowState.FAILED
                 workflow.started_at = now
                 workflow.finished_at = now
                 if OBS.enabled:
                     OBS.metrics.counter("workflow.crashed").inc()
                 continue
-            workflow.state = WorkflowState.RUNNING
+            stuck = self._injector.should_fire(STUCK_POINT, now)
+            self._emit(
+                {
+                    "type": "stuck" if stuck else "started",
+                    "wf": workflow.workflow_id,
+                    "at": now,
+                }
+            )
+            self._pending.popleft()
+            workflow.state = (
+                WorkflowState.STUCK if stuck else WorkflowState.RUNNING
+            )
             workflow.started_at = now
-            if self._injector.should_fire(STUCK_POINT, now):
-                workflow.state = WorkflowState.STUCK
             self._running.append(workflow)
         return completed
 
@@ -203,6 +252,7 @@ class WorkflowEngine:
             raise WorkflowError(
                 f"workflow {workflow.workflow_id} is {workflow.state.value}, not stuck"
             )
+        self._emit({"type": "mitigated", "wf": workflow.workflow_id, "at": now})
         self._running.remove(workflow)
         workflow.state = WorkflowState.MITIGATED
         workflow.retries += 1
@@ -212,9 +262,19 @@ class WorkflowEngine:
             OBS.metrics.counter("workflow.mitigated").inc()
 
     def fail(self, workflow: Workflow, now: int) -> None:
-        """Give up on a workflow (incident escalation)."""
+        """Give up on a workflow (incident escalation).
+
+        The workflow leaves *both* queues: a previously mitigated workflow
+        waits in ``_pending``, and failing it there must not leave a
+        terminal workflow behind for ``_tick`` to start later.
+        """
+        self._emit({"type": "failed", "wf": workflow.workflow_id, "at": now})
         if workflow in self._running:
             self._running.remove(workflow)
+        try:
+            self._pending.remove(workflow)
+        except ValueError:
+            pass
         workflow.state = WorkflowState.FAILED
         workflow.finished_at = now
         if OBS.enabled:

@@ -120,5 +120,20 @@ class WorkflowError(ProRPError):
     """A control-plane workflow failed or was cancelled."""
 
 
+class WalError(StorageError):
+    """Base class for write-ahead-log failures (control-plane durability)."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment holds a record that fails its checksum away from the
+    tail, or a replayed record contradicts the recovered state."""
+
+
+class ControlPlaneCrashError(ProRPError):
+    """An injected control-plane process death (``controlplane.wal.*``
+    fault points).  The in-memory engine is gone; only the WAL and the
+    last checkpoint survive."""
+
+
 class CapacityError(ProRPError):
     """A cluster node could not satisfy a resource allocation request."""

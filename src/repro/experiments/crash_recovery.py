@@ -1,0 +1,423 @@
+"""Chaos scenario: kill the control plane mid-day, recover, lose nothing.
+
+The scenario derives one day's worth of resume/pause workflow submissions
+from a region simulation (every proactive resume, reactive resume, and
+physical pause the policy actually performed becomes one control-plane
+workflow), then drives a :class:`DurableWorkflowEngine` plus the
+Section-7 diagnostics runner over that schedule twice:
+
+* **baseline** -- uninterrupted, journaling to its own WAL;
+* **crashed** -- with a ``controlplane.wal.*`` fault armed to kill the
+  engine at a (seeded-)random journal append mid-day.  The process "dies"
+  (the in-memory engine is discarded), the scenario recovers a fresh
+  engine from the WAL + checkpoints, re-submits only the schedule entries
+  whose submission never reached the log, and finishes the day.
+
+The acceptance bar is the one from the issue: the recovered run's KPI
+report and per-database outcome ledger must be **byte-identical** to the
+uninterrupted run's, no workflow may execute twice (at most one terminal
+record per workflow id in the full ledger) and none may be lost.
+
+The comparison reads only durable engine state -- never the diagnostics
+runner's observational counters, which legitimately differ across a
+restart (the recovered runner re-samples queues it never saw).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import format_table
+from repro.config import DEFAULT_CONFIG
+from repro.controlplane.diagnostics import DiagnosticsRunner
+from repro.controlplane.durability import (
+    CORRUPT_FAULT_POINT,
+    CRASH_FAULT_POINT,
+    TORN_FAULT_POINT,
+    DurableWorkflowEngine,
+    terminal_record_counts,
+)
+from repro.controlplane.workflows import WorkflowKind
+from repro.core.policy import PolicyKind
+from repro.errors import ControlPlaneCrashError
+from repro.experiments.common import BENCH_SCALE, ExperimentScale, region_fleet
+from repro.faults import FaultPlan, FaultSpec, chaos
+from repro.simulation.region import simulate_region
+from repro.workload.regions import RegionPreset
+
+#: Crash flavours the scenario can pick from (all journal-append deaths).
+CRASH_MODES = {
+    "crash": CRASH_FAULT_POINT,
+    "torn": TORN_FAULT_POINT,
+    "corrupt": CORRUPT_FAULT_POINT,
+}
+
+#: One schedule entry: (sim time, workflow kind value, database id).
+ScheduleEntry = Tuple[int, str, str]
+
+
+def derive_workflow_schedule(
+    preset: RegionPreset, scale: ExperimentScale
+) -> List[ScheduleEntry]:
+    """The control-plane workload implied by a proactive-policy run: one
+    workflow per resume/pause event the simulator performed, in time
+    order."""
+    traces = region_fleet(preset, scale)
+    result = simulate_region(
+        traces, PolicyKind.PROACTIVE, DEFAULT_CONFIG, scale.settings()
+    )
+    schedule: List[ScheduleEntry] = []
+    for outcome in result.outcomes:
+        for t in outcome.proactive_resume_times:
+            schedule.append(
+                (t, WorkflowKind.PROACTIVE_RESUME.value, outcome.database_id)
+            )
+        for t in outcome.reactive_resume_times:
+            schedule.append(
+                (t, WorkflowKind.REACTIVE_RESUME.value, outcome.database_id)
+            )
+        for t in outcome.physical_pause_times:
+            schedule.append(
+                (t, WorkflowKind.PHYSICAL_PAUSE.value, outcome.database_id)
+            )
+    schedule.sort()
+    return schedule
+
+
+def control_plane_report(engine: DurableWorkflowEngine) -> Dict[str, object]:
+    """The control plane's KPI report, derived purely from durable engine
+    state: per-kind submission/outcome counts plus mitigation totals."""
+    per_kind: Dict[str, Dict[str, int]] = {
+        kind.value: {"submitted": 0, "succeeded": 0, "failed": 0}
+        for kind in WorkflowKind
+    }
+    retries = 0
+    for workflow in engine.workflows.values():
+        bucket = per_kind[workflow.kind.value]
+        bucket["submitted"] += 1
+        if workflow.state.value == "succeeded":
+            bucket["succeeded"] += 1
+        elif workflow.state.value == "failed":
+            bucket["failed"] += 1
+        retries += workflow.retries
+    return {
+        "kinds": per_kind,
+        "workflows": len(engine.workflows),
+        "retries": retries,
+        "pending": engine.pending_count,
+        "running": engine.running_count,
+    }
+
+
+def outcome_ledger(
+    engine: DurableWorkflowEngine,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Per-database ledger of every workflow's full lifecycle -- the
+    byte-compared artifact proving recovery reconstructed each database's
+    history exactly."""
+    ledger: Dict[str, List[Dict[str, object]]] = {}
+    for workflow in engine.workflows.values():
+        ledger.setdefault(workflow.database_id, []).append(
+            {
+                "wf": workflow.workflow_id,
+                "kind": workflow.kind.value,
+                "submitted_at": workflow.submitted_at,
+                "started_at": workflow.started_at,
+                "finished_at": workflow.finished_at,
+                "state": workflow.state.value,
+                "retries": workflow.retries,
+            }
+        )
+    for records in ledger.values():
+        records.sort(key=lambda r: r["wf"])
+    return ledger
+
+
+def canonical_bytes(document: object) -> bytes:
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+@dataclass(frozen=True)
+class CrashRecoveryResult:
+    """Outcome of :func:`run_crash_recovery`."""
+
+    schedule_size: int
+    crash_mode: str
+    crash_time: Optional[int]
+    crash_error: Optional[str]
+    recovery_info: Dict[str, int] = field(default_factory=dict)
+    baseline_report: Dict[str, object] = field(default_factory=dict)
+    recovered_report: Dict[str, object] = field(default_factory=dict)
+    reports_identical: bool = False
+    ledgers_identical: bool = False
+    exactly_once: bool = False
+    none_lost: bool = False
+    wal_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash_time is not None
+
+    @property
+    def ok(self) -> bool:
+        """The issue's acceptance bar: the crash happened, recovery
+        produced byte-identical reports and ledgers, every workflow ran
+        exactly once, and none were lost."""
+        return (
+            self.crashed
+            and self.reports_identical
+            and self.ledgers_identical
+            and self.exactly_once
+            and self.none_lost
+        )
+
+    def table(self) -> str:
+        base = self.baseline_report
+        rec = self.recovered_report
+        rows = []
+        for kind in WorkflowKind:
+            b = base.get("kinds", {}).get(kind.value, {})
+            r = rec.get("kinds", {}).get(kind.value, {})
+            rows.append(
+                [
+                    kind.value,
+                    b.get("submitted", 0),
+                    b.get("succeeded", 0),
+                    b.get("failed", 0),
+                    r.get("submitted", 0),
+                    r.get("succeeded", 0),
+                    r.get("failed", 0),
+                ]
+            )
+        verdict = "ok" if self.ok else "FAILED"
+        return format_table(
+            [
+                "workflow kind",
+                "base sub",
+                "base ok",
+                "base fail",
+                "rec sub",
+                "rec ok",
+                "rec fail",
+            ],
+            rows,
+            title=(
+                f"Crash recovery ({self.crash_mode} at t={self.crash_time}, "
+                f"replayed {self.recovery_info.get('replayed', 0)}, "
+                f"truncated {self.recovery_info.get('truncated_bytes', 0)} B): "
+                f"byte-identical {verdict}"
+            ),
+        )
+
+
+def _drive(
+    engine: DurableWorkflowEngine,
+    runner: DiagnosticsRunner,
+    schedule: List[ScheduleEntry],
+    start: int,
+    end: int,
+    tick_s: int,
+    skip: Optional[Dict[Tuple[str, str, int], int]] = None,
+    drain_ticks: int = 400,
+    progress: Optional[Dict[str, int]] = None,
+) -> None:
+    """Drive one control-plane day: submit due schedule entries, tick the
+    engine, run the diagnostics pass -- then keep ticking past ``end``
+    until the queues drain.
+
+    ``skip`` is the idempotence multiset for post-recovery resumption:
+    entries already journaled by the crashed process (keyed by
+    ``(db, kind, time)``) are consumed from it instead of re-submitted, so
+    a submission is made exactly once across the crash.  Re-running the
+    crashed tick itself is safe: journaled transitions are already applied
+    (and skipped), the interrupted one is simply re-decided.
+
+    ``progress`` (when given) is updated with the tick time currently
+    being driven -- after a crash it tells the caller the exact tick to
+    resume from.  Resuming at that tick (not an inferred earlier one) is
+    what keeps recovered ``started_at`` times identical to the baseline.
+
+    Phase order within a tick is submissions, diagnostics, engine tick --
+    and that order is what makes re-running a crashed tick idempotent:
+    each phase only acts on state its own journaled transitions remove
+    from its candidate set (a submission leaves the skip multiset, a
+    mitigation leaves the stuck set, a start leaves the pending queue).
+    Running diagnostics *after* the tick would break this -- a mitigation
+    journaled just before the crash would re-enter the re-run tick's
+    pending queue and start one tick earlier than in the baseline.
+    """
+    skip = skip if skip is not None else {}
+    index = 0
+    now = start
+    ticks_past_end = 0
+    while True:
+        if progress is not None:
+            progress["now"] = now
+        while index < len(schedule) and schedule[index][0] <= now:
+            t, kind, db = schedule[index]
+            key = (db, kind, t)
+            if skip.get(key, 0) > 0:
+                skip[key] -= 1
+            else:
+                engine.submit(WorkflowKind(kind), db, t)
+            index += 1
+        runner.run_once(now)
+        engine.tick(now)
+        if now >= end:
+            if engine.drained() and index >= len(schedule):
+                return
+            ticks_past_end += 1
+            if ticks_past_end > drain_ticks:
+                return  # undrained; the none_lost check will fail loudly
+        now += tick_s
+
+
+def run_crash_recovery(
+    scale: ExperimentScale = BENCH_SCALE,
+    preset: RegionPreset = RegionPreset.EU1,
+    tick_s: int = 30,
+    stuck_probability: float = 0.08,
+    checkpoint_every: int = 64,
+    crash_mode: Optional[str] = None,
+    seed: int = 0,
+    workdir: Optional[Path] = None,
+) -> CrashRecoveryResult:
+    """Run the kill-mid-day crash-recovery scenario (see module docstring).
+
+    ``crash_mode`` picks the journal-append death flavour (``crash`` /
+    ``torn`` / ``corrupt``); by default a seeded RNG chooses one, along
+    with the crash time inside the middle of the day.
+    """
+    rng = random.Random(f"{seed}:crash-recovery")
+    if crash_mode is None:
+        crash_mode = rng.choice(sorted(CRASH_MODES))
+    if crash_mode not in CRASH_MODES:
+        raise ValueError(
+            f"crash_mode must be one of {sorted(CRASH_MODES)}, got {crash_mode!r}"
+        )
+    schedule = derive_workflow_schedule(preset, scale)
+    if not schedule:
+        raise ValueError("the derived workflow schedule is empty")
+    start, end = scale.eval_start, scale.eval_end
+    # The crash lands at a random journal append in the middle half of the
+    # day: the fault window opens at crash_at and stays open, max_fires=1.
+    crash_at = int(rng.uniform(start + 0.25 * (end - start), start + 0.75 * (end - start)))
+    crash_plan = FaultPlan.of(
+        FaultSpec(
+            CRASH_MODES[crash_mode],
+            probability=1.0,
+            max_fires=1,
+            windows=((crash_at, end + 100 * tick_s),),
+        )
+    )
+
+    owned = workdir is None
+    root = Path(tempfile.mkdtemp(prefix="crash-recovery-")) if owned else Path(workdir)
+    try:
+        engine_args = dict(
+            max_concurrent=50,
+            stuck_probability=stuck_probability,
+            seed=seed,
+            checkpoint_every=checkpoint_every,
+        )
+
+        # Baseline: the uninterrupted durable run.
+        baseline = DurableWorkflowEngine(root / "baseline", **engine_args)
+        _drive(
+            baseline,
+            DiagnosticsRunner(baseline, stuck_after_s=300, max_retries=2),
+            schedule,
+            start,
+            end,
+            tick_s,
+        )
+        baseline.close()
+        baseline_report = control_plane_report(baseline)
+        baseline_ledger = outcome_ledger(baseline)
+
+        # Crashed run: same schedule, WAL fault armed, process dies.
+        victim = DurableWorkflowEngine(root / "crashed", **engine_args)
+        crash_time: Optional[int] = None
+        crash_error: Optional[str] = None
+        progress: Dict[str, int] = {}
+        with chaos(crash_plan, seed=seed):
+            try:
+                _drive(
+                    victim,
+                    DiagnosticsRunner(victim, stuck_after_s=300, max_retries=2),
+                    schedule,
+                    start,
+                    end,
+                    tick_s,
+                    progress=progress,
+                )
+            except ControlPlaneCrashError as exc:
+                crash_error = str(exc)
+                crash_time = progress.get("now", start)
+        del victim  # the process is dead; only the WAL directory survives
+
+        recovered_report: Dict[str, object] = {}
+        reports_identical = ledgers_identical = False
+        exactly_once = none_lost = False
+        recovery_info: Dict[str, int] = {}
+        wal_stats: Dict[str, int] = {}
+        if crash_time is not None:
+            recovered = DurableWorkflowEngine.recover(
+                root / "crashed", checkpoint_every=checkpoint_every
+            )
+            recovery_info = dict(recovered.recovery_info)
+            # Resume the day at the crashed tick; the skip multiset keeps
+            # journaled submissions from happening twice.
+            resume_from = crash_time
+            _drive(
+                recovered,
+                DiagnosticsRunner(recovered, stuck_after_s=300, max_retries=2),
+                schedule,
+                resume_from,
+                end,
+                tick_s,
+                skip=dict(recovered.submitted_counts()),
+            )
+            recovered.close()
+            recovered_report = control_plane_report(recovered)
+            recovered_ledger = outcome_ledger(recovered)
+            reports_identical = canonical_bytes(baseline_report) == canonical_bytes(
+                recovered_report
+            )
+            ledgers_identical = canonical_bytes(baseline_ledger) == canonical_bytes(
+                recovered_ledger
+            )
+            terminals = terminal_record_counts(recovered.read_ledger())
+            exactly_once = all(count == 1 for count in terminals.values())
+            none_lost = (
+                len(recovered.workflows) == len(schedule)
+                and set(terminals) == set(recovered.workflows)
+                and all(w.terminal for w in recovered.workflows.values())
+            )
+            wal_stats = recovered.wal_stats()
+
+        return CrashRecoveryResult(
+            schedule_size=len(schedule),
+            crash_mode=crash_mode,
+            crash_time=crash_time,
+            crash_error=crash_error,
+            recovery_info=recovery_info,
+            baseline_report=baseline_report,
+            recovered_report=recovered_report,
+            reports_identical=reports_identical,
+            ledgers_identical=ledgers_identical,
+            exactly_once=exactly_once,
+            none_lost=none_lost,
+            wal_stats=wal_stats,
+        )
+    finally:
+        if owned:
+            shutil.rmtree(root, ignore_errors=True)

@@ -120,3 +120,39 @@ class FaultInjector:
             "fires": dict(self.fires),
             "events": dict(self.events),
         }
+
+    # ------------------------------------------------------------------
+    # Durability (control-plane checkpoints)
+    # ------------------------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """The injector's full resumable state as a JSON-able document:
+        plan, seed, every per-point PRNG stream, and the ledger.  Restoring
+        it continues the exact fault schedule from where it stopped --
+        what the durable workflow engine's checkpoints rely on."""
+        return {
+            "seed": self._seed,
+            "plan": self._plan.to_dict(),
+            "rngs": {
+                point: [state[0], list(state[1]), state[2]]
+                for point, state in (
+                    (point, rng.getstate()) for point, rng in self._rngs.items()
+                )
+            },
+            "consults": dict(self.consults),
+            "fires": dict(self.fires),
+            "events": dict(self.events),
+        }
+
+    def restore_state(self, doc: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`state_snapshot`.  The
+        injector must have been constructed with the same plan and seed
+        (both travel in the document for the caller to rebuild from)."""
+        self._rngs = {}
+        for point, state in doc["rngs"].items():
+            rng = random.Random()
+            rng.setstate((state[0], tuple(state[1]), state[2]))
+            self._rngs[point] = rng
+        self.consults = {k: int(v) for k, v in doc["consults"].items()}
+        self.fires = {k: int(v) for k, v in doc["fires"].items()}
+        self.events = {k: int(v) for k, v in doc["events"].items()}

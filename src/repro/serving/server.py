@@ -166,6 +166,7 @@ class PredictionServer:
         settings: Optional[ServingSettings] = None,
         clock: Callable[[], float] = time.monotonic,
         slo_monitor=None,
+        control_plane=None,
     ):
         self.settings = settings if settings is not None else ServingSettings()
         self._configs = dict(configs) if configs else {"default": DEFAULT_CONFIG}
@@ -173,6 +174,12 @@ class PredictionServer:
         #: Optional :class:`repro.observability.slo.SloMonitor` ticked on
         #: every served request; its ledger feeds the health endpoint.
         self.slo_monitor = slo_monitor
+        #: Optional :class:`repro.controlplane.durability.
+        #: DurableWorkflowEngine`: each resume scan's selected databases
+        #: become journaled PROACTIVE_RESUME workflows, and ``stop()``
+        #: checkpoints the engine before the gateway exits so a restart
+        #: recovers exactly the workflows it was driving.
+        self.control_plane = control_plane
         self.admission = AdmissionController(
             self.settings.admission_policy(), clock=clock
         )
@@ -295,6 +302,11 @@ class PredictionServer:
             await asyncio.gather(
                 *list(self._in_flight), return_exceptions=True
             )
+        if self.control_plane is not None:
+            # Every in-flight handler has resolved, so no further resume
+            # scans can submit workflows: checkpoint + close the durable
+            # engine so a restart recovers without replaying the full WAL.
+            self.control_plane.close()
         if self.settings.metrics_out and OBS.enabled and OBS.metrics is not None:
             exporters.write_metrics_snapshot(
                 OBS.metrics, self.settings.metrics_out, title="serving"
@@ -541,6 +553,14 @@ class PredictionServer:
             OBS.metrics.counter("serving.resume_scan.prewarms").inc(
                 len(selected)
             )
+        if self.control_plane is not None and selected:
+            from repro.controlplane.workflows import WorkflowKind
+
+            for database_id in selected:
+                self.control_plane.submit(
+                    WorkflowKind.PROACTIVE_RESUME, database_id, request.now
+                )
+            self.control_plane.tick(request.now)
         return ResumeScanResponse(
             request_id=request.request_id,
             database_ids=selected,

@@ -1,0 +1,69 @@
+"""Crash-safe file replacement: temp file + fsync + atomic rename.
+
+Both durability layers (history snapshots, control-plane checkpoints)
+persist whole documents that a reader must see either entirely or not at
+all.  A naive ``write_text`` truncates the destination first, so a crash
+mid-write leaves a half-written file that the read path then rejects as
+corrupt -- losing the previous good copy.  The standard fix, implemented
+here once:
+
+1. write the new bytes to a temporary file *in the same directory* (so
+   the final rename never crosses a filesystem boundary);
+2. flush and ``os.fsync`` the temp file so the data is on stable storage
+   before it can become visible under the destination name;
+3. ``os.replace`` the temp file over the destination -- atomic on POSIX
+   and Windows: readers see the old document or the new one, never a mix;
+4. best-effort fsync of the containing directory so the rename itself
+   survives a power cut (skipped where directories cannot be opened).
+
+A crash at any step leaves the destination untouched; the stray temp
+file, when one survives, is ignored by readers and overwritten by the
+next attempt.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (see module docstring)."""
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry; best-effort (not all platforms allow
+    opening directories)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

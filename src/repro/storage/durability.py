@@ -36,6 +36,7 @@ from typing import List, Tuple
 
 from repro.errors import StorageError
 from repro.faults.runtime import FAULTS
+from repro.storage.atomic import atomic_write_text
 from repro.storage.history import HistoryStore
 from repro.types import EventType, HistoryEvent
 
@@ -120,7 +121,13 @@ def _document_payload(document: dict) -> bytes:
 
 
 def write_snapshot(snapshot: HistorySnapshot, path: Path) -> None:
-    """Persist a snapshot as JSON with a whole-document checksum."""
+    """Persist a snapshot as JSON with a whole-document checksum.
+
+    The write is crash-safe: the document lands in a same-directory temp
+    file that is fsynced and atomically renamed over ``path``
+    (:func:`repro.storage.atomic.atomic_write_text`), so a crash mid-write
+    can never leave a half-written snapshot where a good one used to be.
+    """
     document = {
         "version": snapshot.version,
         "database_id": snapshot.database_id,
@@ -137,7 +144,7 @@ def write_snapshot(snapshot: HistorySnapshot, path: Path) -> None:
             document["events"][-1][0] += 1
         else:
             document["checksum"] += 1
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    atomic_write_text(path, json.dumps(document))
 
 
 def read_snapshot(path: Path) -> HistorySnapshot:

@@ -185,3 +185,50 @@ class TestSingleByteCorruption:
             assert loaded == snapshot, (
                 f"flip at byte {position} with mask {mask:#x} went undetected"
             )
+
+
+class TestInterruptedSnapshotWrite:
+    """Crashing partway through ``write_snapshot`` must never destroy the
+    previous good snapshot: the new bytes go to a temp file and only an
+    atomic rename makes them visible, so an interruption at any step
+    leaves the destination readable and equal to the old document."""
+
+    def _written(self, tmp_path):
+        original = snapshot_history(sample_store(), "db-1")
+        path = tmp_path / "backup.json"
+        write_snapshot(original, path)
+        bigger = sample_store()
+        bigger.insert_history(180000, EventType.ACTIVITY_END)
+        newer = snapshot_history(bigger, "db-1")
+        return original, newer, path
+
+    def test_crash_before_rename_preserves_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        original, newer, path = self._written(tmp_path)
+
+        def killed_replace(src, dst):
+            raise OSError("injected: process died before the rename")
+
+        monkeypatch.setattr("repro.storage.atomic.os.replace", killed_replace)
+        with pytest.raises(OSError):
+            write_snapshot(newer, path)
+        monkeypatch.undo()
+        # The old snapshot is intact and the stray temp file was removed.
+        assert read_snapshot(path) == original
+        assert [p.name for p in tmp_path.iterdir()] == ["backup.json"]
+
+    def test_crash_during_temp_write_preserves_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        original, newer, path = self._written(tmp_path)
+
+        def killed_fsync(fd):
+            raise OSError("injected: device lost before flush completed")
+
+        monkeypatch.setattr("repro.storage.atomic.os.fsync", killed_fsync)
+        with pytest.raises(OSError):
+            write_snapshot(newer, path)
+        monkeypatch.undo()
+        assert read_snapshot(path) == original
+        assert [p.name for p in tmp_path.iterdir()] == ["backup.json"]

@@ -196,3 +196,25 @@ class TestFailedWorkflowPath:
         assert engine.running_count == 0
         assert engine.drained()
         assert len(runner.incidents) == incidents_after_fail
+
+    def test_fail_removes_mitigated_workflow_from_pending(self):
+        """Failing a workflow that sits in the *pending* queue (mitigated,
+        waiting to restart) must remove it there too -- a terminal
+        workflow left behind would be started again by a later tick."""
+        engine = self._always_stuck_engine()
+        workflow = engine.submit(WorkflowKind.REACTIVE_RESUME, "db-x", now=0)
+        engine.tick(0)
+        assert workflow.state is WorkflowState.STUCK
+        engine.retry(workflow, 30)
+        assert workflow.state is WorkflowState.MITIGATED
+        assert engine.pending_count == 1
+        engine.fail(workflow, 60)
+        assert workflow.state is WorkflowState.FAILED
+        assert engine.pending_count == 0
+        assert engine.running_count == 0
+        assert engine.drained()
+        # Later ticks must not resurrect it.
+        engine.tick(90)
+        assert engine.running_count == 0
+        assert workflow.state is WorkflowState.FAILED
+        assert workflow.finished_at == 60

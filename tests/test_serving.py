@@ -712,3 +712,52 @@ def test_fleet_login_arrays_are_sorted_and_windowed():
     for logins in fleets:
         assert list(logins) == sorted(logins)
         assert all(start <= t < NOW for t in logins)
+
+
+def test_stop_checkpoints_control_plane(tmp_path):
+    """A server wired to a durable control plane journals every workflow
+    its resume scans submit, and ``stop()`` checkpoints the engine before
+    exit -- so a restarted server recovers the identical workflow state
+    instead of re-resuming databases it already handled."""
+    from repro.controlplane.durability import (
+        DurableWorkflowEngine,
+        checkpoint_paths,
+    )
+
+    state_dir = tmp_path / "controlplane"
+
+    async def run():
+        # checkpoint_every=0 disables periodic checkpoints: the one the
+        # test finds afterwards can only have come from stop().
+        engine = DurableWorkflowEngine(state_dir, checkpoint_every=0)
+        server = PredictionServer(control_plane=engine)
+        for i, logins in enumerate(FLEETS):
+            server.register_database("EU1", f"db-{i}", logins, paused=True)
+        await server.start()
+        selected = set()
+        # Scans tiled over the next day: together they cover every
+        # possible predicted start, so the fixture fleet is guaranteed
+        # to trigger at least one pre-warm submission.
+        for k in range(12):
+            response = await server.submit(
+                ResumeScanRequest(
+                    f"scan-{k}", NOW, prewarm_s=k * 2 * HOUR,
+                    period_s=2 * HOUR,
+                )
+            )
+            assert isinstance(response, ResumeScanResponse)
+            selected.update(response.database_ids)
+        await server.stop()
+        return engine, selected
+
+    engine, selected = asyncio.run(run())
+    assert selected, "fixture fleet produced no pre-warm candidates"
+    assert len(engine.workflows) == len(selected)
+    assert checkpoint_paths(state_dir), "stop() did not write a checkpoint"
+    recovered = DurableWorkflowEngine.recover(state_dir)
+    assert recovered.lsn == engine.lsn
+    assert {w.database_id for w in recovered.workflows.values()} == selected
+    assert recovered.recovery_info["replayed"] == 0, (
+        "recovery replayed WAL records despite a fresh stop() checkpoint"
+    )
+    recovered.close()
