@@ -121,10 +121,18 @@ def _overload_run(fleets, n_requests: int) -> Dict[str, object]:
             seed=1,
         )
         await server.stop()
+        admission = server.admission.snapshot()
         summary = report.summary()
         summary["shed_fraction"] = round(report.shed / report.offered, 3)
         summary["max_depth"] = server.stats.max_depth
         summary["queue_bound"] = OVERLOAD_QUEUE_DEPTH
+        # Server-side view of the same storm: per-reason shed decisions
+        # and the depth the admission layer was holding the line at.
+        summary["admission_shed_by_reason"] = dict(admission["shed"])
+        summary["queue_depth"] = {
+            "bound": admission["max_queue_depth"],
+            "max_observed": server.stats.max_depth,
+        }
         return summary
 
     return asyncio.run(run())
@@ -219,6 +227,12 @@ def _report(result: dict) -> str:
         f"{overload['shed']} shed ({overload['shed_fraction']:.0%}), "
         f"max depth {overload['max_depth']}, p99 {overload['p99_ms']} ms"
     )
+    reasons = ", ".join(
+        f"{reason}={count}"
+        for reason, count in sorted(overload["admission_shed_by_reason"].items())
+        if count
+    )
+    lines.append(f"  shed by reason: {reasons or 'none'}")
     return "\n".join(lines)
 
 

@@ -84,6 +84,9 @@ class BoundCheck:
     value: str
     limit: str = ""
     positive: bool = False
+    #: Multiplier on the limit for wall-clock-derived bounds, where a
+    #: strict `<=` would flake on shared-runner timing noise.
+    slack: float = 1.0
 
     def run(self, baseline: dict, fresh: dict, tolerance: float) -> List[str]:
         new = lookup(fresh, self.value)
@@ -91,10 +94,44 @@ class BoundCheck:
             if new > 0:
                 return []
             return [f"{self.value}: fresh {new}, expected > 0"]
-        bound = lookup(fresh, self.limit)
+        bound = lookup(fresh, self.limit) * self.slack
         if new <= bound:
             return []
         return [f"{self.value}: fresh {new} exceeds bound {self.limit}={bound}"]
+
+
+@dataclass(frozen=True)
+class CrossBaselineCheck:
+    """``min_ratio_vs_other_baseline``: the fresh value of one benchmark
+    must clear ``min_ratio`` times a metric from a *different*
+    benchmark's results -- the fresh run of that other benchmark when it
+    is present in the fresh dir (same machine, same moment; CI runs all
+    quick benches together), else its committed baseline.
+
+    This is how the sharded serving bench asserts its 2-worker
+    throughput against the single-process serving baseline without
+    duplicating the measurement."""
+
+    file: str
+    name: str
+    value: str
+    other_file: str
+    other_value: str
+    min_ratio: float
+
+    def run(
+        self, baseline: dict, fresh: dict, tolerance: float, other: dict
+    ) -> List[str]:
+        new = lookup(fresh, self.value)
+        reference = lookup(other, self.other_value)
+        floor = reference * self.min_ratio
+        if new >= floor:
+            return []
+        return [
+            f"{self.value}: fresh {new} below {self.min_ratio}x "
+            f"{self.other_file}:{self.other_value}={reference} "
+            f"(floor {floor:.1f})"
+        ]
 
 
 CHECKS: Tuple[object, ...] = (
@@ -207,6 +244,32 @@ CHECKS: Tuple[object, ...] = (
     # asserted by the full (local) bench run only, for the same reason as
     # the SLO armed-vs-disarmed ratio above: quick-run wall clocks on a
     # shared CI runner are too noisy to gate a few-percent fraction.
+    CrossBaselineCheck(
+        "BENCH_serving_sharded_quick.json",
+        "sharded tier at 2 workers clears 2x the single-process baseline",
+        value="sweep.2.storm.throughput_rps",
+        other_file="BENCH_serving_quick.json",
+        other_value="overload.throughput_rps",
+        min_ratio=2.0,
+    ),
+    BoundCheck(
+        "BENCH_serving_sharded_quick.json",
+        "sharded p99 at 2 workers equal-or-better than single-process",
+        value="sweep.2.closed.p99_ms",
+        limit="single_closed.p99_ms",
+        slack=1.25,
+    ),
+    BoundCheck(
+        "BENCH_serving_sharded_quick.json",
+        "by-id storm engages the worker prediction cache",
+        value="sweep.2.cache_hits",
+        positive=True,
+    ),
+    RatioCheck(
+        "BENCH_serving_sharded_quick.json",
+        "sharded same-modality speedup at 2 workers holds",
+        ("speedup_2w_vs_fresh_single",),
+    ),
 )
 
 
@@ -239,7 +302,25 @@ def run_checks(
             )
         baseline, fresh = docs[check.file]
         try:
-            failures = check.run(baseline, fresh, tolerance)
+            if isinstance(check, CrossBaselineCheck):
+                other_fresh = fresh_dir / check.other_file
+                other_baseline = baseline_dir / check.other_file
+                if other_fresh.is_file():
+                    other = json.loads(other_fresh.read_text())
+                elif other_baseline.is_file():
+                    other = json.loads(other_baseline.read_text())
+                else:
+                    outcome.failed.append(
+                        f"{check.name}: reference {check.other_file} found "
+                        f"in neither fresh nor baseline dir"
+                    )
+                    outcome.rows.append(
+                        (check.name, check.file, "FAIL", "reference missing")
+                    )
+                    continue
+                failures = check.run(baseline, fresh, tolerance, other)
+            else:
+                failures = check.run(baseline, fresh, tolerance)
         except MissingMetricError as exc:
             # A benchmark schema drifted away from its committed baseline:
             # fail loudly with the offending key instead of a bare

@@ -210,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenant-rate", type=float, default=0.0,
         help="per-tenant token-bucket rate in requests/s (0 = unlimited)",
     )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes for the shared-nothing sharded tier "
+        "(consistent-hash router + shared-memory history arena); 1 runs "
+        "the classic in-process gateway (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--router-window", type=int, default=32,
+        help="with --shards > 1: outstanding-request window per worker "
+        "connection before the router sheds Overloaded",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=2,
+        help="with --shards > 1: ring replica candidates tried per "
+        "region before shedding",
+    )
     _observability_args(serve)
     serve.add_argument(
         "--openmetrics-out", metavar="PATH", default=None,
@@ -553,6 +569,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
 
+    if args.shards > 1:
+        return _cmd_serve_sharded(args, settings, fleets, now)
+
     def build_server() -> PredictionServer:
         slo_monitor = None
         if OBS.enabled:
@@ -671,6 +690,137 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"served {server.stats.served} requests, "
             f"shed {server.admission.total_shed()}; shut down cleanly"
+        )
+        return 0
+
+    if args.once:
+        return asyncio.run(run_once())
+    if args.loadgen > 0:
+        return asyncio.run(run_loadgen())
+    return asyncio.run(run_tcp())
+
+
+def _cmd_serve_sharded(args, settings, fleets, now: int) -> int:
+    """``serve --shards N``: the multi-process tier.  The synthetic
+    fleet is partitioned into sub-regions (the consistent-hash shard
+    key), registered into a shared-memory arena, and served by N spawned
+    workers behind the router."""
+    import asyncio
+    import json
+    import signal
+
+    from repro.serving import (
+        HealthRequest,
+        MetricsRequest,
+        PredictRequest,
+        ResumeScanRequest,
+        closed_loop,
+        encode_response,
+        serve_tcp,
+    )
+    from repro.serving.sharded import RouterSettings, ShardRouter
+
+    database_ids = [f"db-{i}" for i in range(len(fleets))]
+    # Enough sub-regions that every worker owns some shards; each
+    # database's requests carry its sub-region so routing is stable.
+    n_partitions = max(8, args.shards * 4)
+    regions = [
+        f"{args.region}-s{i % n_partitions}" for i in range(len(fleets))
+    ]
+    fleet: dict = {}
+    for database_id, logins, region in zip(database_ids, fleets, regions):
+        fleet.setdefault(region, []).append((database_id, logins, True))
+    router = ShardRouter.build(
+        fleet,
+        n_workers=args.shards,
+        worker_settings=settings,
+        settings=RouterSettings(
+            window=args.router_window, replicas=args.replicas
+        ),
+    )
+
+    async def run_once() -> int:
+        requests = [
+            PredictRequest(
+                f"predict-{i}",
+                (),
+                now,
+                region=regions[i],
+                database_id=database_ids[i],
+            )
+            for i in range(min(4, len(database_ids)))
+        ]
+        requests.append(
+            ResumeScanRequest("scan-0", now, region=regions[0])
+        )
+        requests.append(HealthRequest("health-0"))
+        if args.openmetrics_out:
+            requests.append(MetricsRequest("metrics-0"))
+        responses = await router.serve_script(requests)
+        for response in responses:
+            doc = encode_response(response)
+            if args.openmetrics_out and doc.get("type") == "metrics":
+                with open(args.openmetrics_out, "w", encoding="utf-8") as fh:
+                    fh.write(doc["body"])
+                print(
+                    f"wrote {doc['metric_count']} metric families "
+                    f"(merged across {args.shards} workers) to "
+                    f"{args.openmetrics_out}"
+                )
+                continue
+            print(json.dumps(doc))
+        print(
+            f"routed {router.stats.routed} requests across "
+            f"{args.shards} workers; shut down cleanly"
+        )
+        return 0
+
+    async def run_loadgen() -> int:
+        await router.start()
+        report = await closed_loop(
+            router,
+            fleets,
+            now,
+            clients=args.loadgen,
+            requests_per_client=args.requests_per_client,
+            seed=args.seed,
+            database_ids=database_ids,
+            regions=regions,
+        )
+        await router.stop()
+        summary = report.summary()
+        summary["router_shed_overloaded"] = router.stats.shed_overloaded
+        summary["router_max_outstanding"] = router.stats.max_outstanding
+        print(
+            format_table(
+                ["metric", "value"],
+                [[k, v] for k, v in summary.items()],
+                title=f"closed-loop {args.loadgen} clients, "
+                f"{args.shards} workers, {len(fleets)} databases",
+            )
+        )
+        print("shut down cleanly")
+        return 0
+
+    async def run_tcp() -> int:
+        listener = await serve_tcp(router, host=args.host, port=args.port)
+        host, port = listener.sockets[0].getsockname()[:2]
+        print(
+            f"serving JSON-over-TCP on {host}:{port} via {args.shards} "
+            f"workers (Ctrl-C to drain)"
+        )
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop_event.set)
+        await stop_event.wait()
+        listener.close()
+        await listener.wait_closed()
+        await router.stop()
+        print(
+            f"routed {router.stats.routed} requests, shed "
+            f"{router.stats.shed_overloaded} at the router; "
+            f"shut down cleanly"
         )
         return 0
 

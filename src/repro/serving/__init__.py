@@ -5,7 +5,9 @@ typed requests (``requests``), admission control and load shedding
 (``admission``), dynamic micro-batching onto
 ``FastPredictor.predict_fleet`` (``batcher``), the asyncio server and its
 JSON-over-TCP front end (``server``), and synthetic load generation
-(``loadgen``).  See ``docs/serving.md``.
+(``loadgen``).  The shared-nothing multi-process tier (consistent-hash
+router, worker processes, zero-copy shared-memory history) lives in the
+``sharded`` subpackage.  See ``docs/serving.md``.
 """
 
 from repro.serving.admission import (
@@ -41,6 +43,8 @@ from repro.serving.requests import (
     Shutdown,
     Unavailable,
     decode_request,
+    decode_response,
+    encode_request,
     encode_response,
 )
 from repro.serving.server import (
@@ -80,6 +84,8 @@ __all__ = [
     "Unavailable",
     "closed_loop",
     "decode_request",
+    "decode_response",
+    "encode_request",
     "encode_response",
     "fleet_login_arrays",
     "open_loop",

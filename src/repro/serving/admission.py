@@ -154,6 +154,31 @@ class AdmissionController:
     def total_shed(self) -> int:
         return sum(self.shed.values())
 
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time view of the admission state for backpressure
+        decisions: totals, the configured depth bound, and each live
+        tenant bucket's remaining tokens.
+
+        The numbers are internally consistent at the instant of the call
+        (``admitted + sum(shed.values())`` equals the number of decisions
+        taken): :meth:`admit` runs synchronously on the event loop, so a
+        snapshot can never observe a half-applied decision -- the
+        concurrent-admit unit test pins that.  The sharded router reads
+        this via worker health probes to bias dispatch away from workers
+        whose queues are deep.
+        """
+        return {
+            "admitted": self.admitted,
+            "shed": dict(self.shed),
+            "total_shed": self.total_shed(),
+            "max_queue_depth": self.policy.max_queue_depth,
+            "tenant_rate": self.policy.tenant_rate,
+            "tenant_buckets": {
+                tenant: round(bucket.tokens, 6)
+                for tenant, bucket in self._buckets.items()
+            },
+        }
+
     def admit(
         self, request: Request, depth: int, stopping: bool = False
     ) -> Optional[ErrorResponse]:

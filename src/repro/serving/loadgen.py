@@ -128,9 +128,20 @@ async def closed_loop(
     region: str = "EU1",
     config: str = "default",
     seed: int = 0,
+    database_ids: Optional[Sequence[str]] = None,
+    regions: Optional[Sequence[str]] = None,
 ) -> LoadReport:
     """``clients`` concurrent request loops, each issuing
-    ``requests_per_client`` predictions back-to-back."""
+    ``requests_per_client`` predictions back-to-back.
+
+    ``database_ids`` (aligned with ``fleets``) switches the storm to
+    *by-id* requests: each request carries the database's identity
+    instead of its login array, so the server (or sharded worker)
+    resolves history from its registry/arena -- the zero-serialisation
+    hot path.  ``regions``, also aligned, spreads requests over a
+    multi-region fleet (required to exercise sharded routing); both
+    default to the classic single-region inline-logins storm.
+    """
     report = LoadReport(
         mode="closed",
         clients=clients,
@@ -144,14 +155,19 @@ async def closed_loop(
     async def client(client_id: int) -> None:
         rng = random.Random(seed * 1_000_003 + client_id)
         for i in range(requests_per_client):
-            logins = fleets[rng.randrange(len(fleets))]
+            target = rng.randrange(len(fleets))
             request = PredictRequest(
                 request_id=f"c{client_id}-{i}",
-                logins=tuple(logins),
+                logins=()
+                if database_ids is not None
+                else tuple(fleets[target]),
                 now=now,
-                region=region,
+                region=regions[target] if regions is not None else region,
                 config=config,
                 tenant=f"client-{client_id}",
+                database_id=database_ids[target]
+                if database_ids is not None
+                else None,
             )
             started = time.perf_counter()
             response = await server.submit(request)
@@ -175,9 +191,14 @@ async def open_loop(
     config: str = "default",
     seed: int = 0,
     deadline_ms: Optional[float] = None,
+    database_ids: Optional[Sequence[str]] = None,
+    regions: Optional[Sequence[str]] = None,
 ) -> LoadReport:
     """Fire ``n_requests`` arrivals at ``rate_rps`` (seeded Poisson
     inter-arrivals) without waiting for completions, then await them all.
+
+    ``database_ids``/``regions`` (aligned with ``fleets``) switch to the
+    by-id multi-region storm exactly as in :func:`closed_loop`.
 
     Arrival times are precomputed and paced against the wall clock: when
     the generator falls behind schedule (inter-arrival gaps below the
@@ -199,14 +220,17 @@ async def open_loop(
     loop = asyncio.get_running_loop()
 
     async def fire(i: int) -> None:
-        logins = fleets[rng.randrange(len(fleets))]
+        target = rng.randrange(len(fleets))
         request = PredictRequest(
             request_id=f"o-{i}",
-            logins=tuple(logins),
+            logins=() if database_ids is not None else tuple(fleets[target]),
             now=now,
-            region=region,
+            region=regions[target] if regions is not None else region,
             config=config,
             deadline_ms=deadline_ms,
+            database_id=database_ids[target]
+            if database_ids is not None
+            else None,
         )
         started = time.perf_counter()
         response = await server.submit(request)

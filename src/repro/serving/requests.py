@@ -10,8 +10,10 @@ always learns why it was refused -- the load-shedding contract of the
 admission layer (``docs/serving.md``).
 
 Everything is a frozen dataclass with a JSON codec (:func:`decode_request`
-/ :func:`encode_response`) so the same model serves the in-process API,
-the JSON-over-TCP front end, and the scripted CLI ``serve --once`` mode.
+/ :func:`encode_response`, plus the :func:`encode_request` /
+:func:`decode_response` inverses the sharded router forwards with) so the
+same model serves the in-process API, the JSON-over-TCP front end, the
+router -> worker hop, and the scripted CLI ``serve --once`` mode.
 """
 
 from __future__ import annotations
@@ -43,6 +45,13 @@ class PredictRequest:
     the micro-batcher.  ``deadline_ms`` is the client's remaining latency
     budget at send time: admission rejects it once expired, and the
     dispatcher re-checks after the queue wait.
+
+    A request may carry ``database_id`` *instead of* inline ``logins``:
+    the server resolves the history from its fleet registry (in-process)
+    or the shared-memory arena (sharded workers), so the hot path never
+    serialises login arrays -- and the identity makes the result
+    cacheable under the history's ``login_version``.  Carrying both is a
+    protocol error; inline logins remain the anonymous fallback.
     """
 
     kind: ClassVar[str] = "predict"
@@ -54,6 +63,7 @@ class PredictRequest:
     config: str = "default"
     tenant: str = "default"
     deadline_ms: Optional[float] = None
+    database_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -266,10 +276,104 @@ def decode_request(doc: Dict[str, Any]) -> Request:
                 f"unknown field {name!r} for {request_type!r} request"
             )
         kwargs[name] = _coerce_logins(value) if name == "logins" else value
+    if cls is PredictRequest:
+        database_id = kwargs.get("database_id")
+        if database_id is not None and not isinstance(database_id, str):
+            raise ServingProtocolError("database_id must be a string")
+        if database_id is not None and kwargs.get("logins"):
+            raise ServingProtocolError(
+                "a predict request carries database_id or inline logins, "
+                "not both"
+            )
+        # A by-id request legitimately omits the logins array.
+        kwargs.setdefault("logins", ())
     try:
         return cls(**kwargs)
     except TypeError as exc:
         raise ServingProtocolError(f"bad {request_type!r} request: {exc}") from exc
+
+
+def encode_request(request: Request) -> Dict[str, Any]:
+    """The request as a JSON-serialisable object (inverse of
+    :func:`decode_request`): ``{"type": <kind>, ...non-default fields}``.
+
+    Default-valued fields are omitted so router -> worker forwarding of
+    small by-id requests stays small on the wire.
+    """
+    doc: Dict[str, Any] = {"type": request.kind}
+    for f in fields(request):
+        value = getattr(request, f.name)
+        if f.name == "logins":
+            if value:
+                doc["logins"] = list(value)
+            continue
+        if value == f.default:
+            continue
+        doc[f.name] = value
+    return doc
+
+
+_ERROR_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        Overloaded,
+        RateLimited,
+        DeadlineExpired,
+        Shutdown,
+        Unavailable,
+        InvalidRequest,
+        ErrorResponse,
+    )
+}
+
+
+def decode_response(doc: Dict[str, Any]) -> Response:
+    """Build a typed response from a decoded JSON object (inverse of
+    :func:`encode_response`) -- the router uses this to type worker
+    replies before handing them back to clients."""
+    if not isinstance(doc, dict):
+        raise ServingProtocolError("response document must be a JSON object")
+    response_type = doc.get("type")
+    if response_type == "predict":
+        p = doc.get("prediction")
+        prediction = (
+            PredictedActivity.none()
+            if p is None
+            else PredictedActivity(p["start"], p["end"], p["confidence"])
+        )
+        return PredictResponse(
+            request_id=doc["request_id"],
+            prediction=prediction,
+            batch_size=doc.get("batch_size", 1),
+            queue_wait_ms=doc.get("queue_wait_ms", 0.0),
+        )
+    if response_type == "resume_scan":
+        return ResumeScanResponse(
+            request_id=doc["request_id"],
+            database_ids=tuple(doc.get("database_ids", ())),
+            scanned=doc.get("scanned", 0),
+            queue_wait_ms=doc.get("queue_wait_ms", 0.0),
+        )
+    if response_type == "health":
+        return HealthResponse(
+            request_id=doc["request_id"],
+            status=doc["status"],
+            queue_depth=doc.get("queue_depth", 0),
+            in_flight=doc.get("in_flight", 0),
+            served=doc.get("served", 0),
+            shed=doc.get("shed", 0),
+            stats=dict(doc.get("stats", {})),
+        )
+    if response_type == "metrics":
+        return MetricsResponse(
+            request_id=doc["request_id"],
+            body=doc.get("body", ""),
+            metric_count=doc.get("metric_count", 0),
+        )
+    cls = _ERROR_TYPES.get(response_type)
+    if cls is None:
+        raise ServingProtocolError(f"unknown response type {response_type!r}")
+    return cls(request_id=doc["request_id"], message=doc.get("message", ""))
 
 
 def encode_response(response: Response) -> Dict[str, Any]:

@@ -91,6 +91,8 @@ _PREREGISTERED_COUNTERS = (
     "serving.shed.rate_limited",
     "serving.shed.deadline",
     "serving.shed.shutdown",
+    "serving.cache.hits",
+    "serving.cache.misses",
     "serving.health.probes",
     "serving.health.metrics_scrapes",
     "slo.evaluations",
@@ -115,6 +117,11 @@ class ServingSettings:
     retry_attempts: int = 2
     breaker_failure_threshold: int = 5
     breaker_recovery_s: float = 1.0
+    #: Bound on the by-id prediction cache (entries); 0 disables it.
+    #: Only identity-carrying requests (``database_id``) are cacheable --
+    #: the key includes the history's login version, so a router-side
+    #: append invalidates exactly the affected database.
+    prediction_cache_size: int = 8192
     #: When set, ``stop()`` flushes the live metrics snapshot here
     #: (JSON when the path ends in .json, plain text otherwise).
     metrics_out: Optional[str] = None
@@ -134,6 +141,8 @@ class ServerStats:
     served: int = 0
     errors: int = 0
     max_depth: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def count(self, kind: str) -> None:
@@ -200,7 +209,18 @@ class PredictionServer:
         )
         self.stats = ServerStats()
         #: region -> database id -> (sorted logins, physically paused?).
+        #: Values may be plain dicts (in-process registry) or read-only
+        #: shared-memory views (:meth:`attach_fleet` on sharded workers);
+        #: both speak ``get``/``__getitem__``/``items``.
         self._fleet: Dict[str, Dict[str, Tuple[Sequence[int], bool]]] = {}
+        #: (region, database id) -> registration stamp; the in-process
+        #: analogue of the arena's per-database login version, keyed into
+        #: the prediction cache so re-registration/appends invalidate.
+        self._login_versions: Dict[Tuple[str, str], int] = {}
+        self._version_stamp = 0
+        #: by-id prediction memo: (region, config, database id, login
+        #: version, now) -> PredictedActivity, FIFO-bounded.
+        self._cache: Dict[tuple, "PredictedActivity"] = {}
         self._queue: "asyncio.Queue" = asyncio.Queue()
         self._in_flight: set = set()
         self._dispatch_task: Optional[asyncio.Task] = None
@@ -218,12 +238,58 @@ class PredictionServer:
         logins: Sequence[int],
         paused: bool = True,
     ) -> None:
-        """Register one database's login history for resume scans."""
+        """Register one database's login history for resume scans and
+        by-id predictions.  Re-registering bumps the login version, so
+        cached predictions for the old history become unreachable."""
         self._fleet.setdefault(region, {})[database_id] = (logins, paused)
+        self._version_stamp += 1
+        self._login_versions[(region, database_id)] = self._version_stamp
+
+    def attach_fleet(self, views: Dict[str, object]) -> None:
+        """Serve the fleet from externally-owned views (the sharded
+        worker's read-only :class:`~repro.serving.sharded.arena.
+        SharedHistoryArena` mapping).  Each region view must speak
+        ``get``/``__getitem__``/``items`` yielding ``(logins, paused)``
+        and, when it can, ``login_version(database_id)``; the writer (the
+        router) owns all mutation."""
+        self._fleet = dict(views)  # type: ignore[assignment]
 
     def set_paused(self, region: str, database_id: str, paused: bool) -> None:
         logins, _ = self._fleet[region][database_id]
         self._fleet[region][database_id] = (logins, paused)
+
+    def append_login(self, region: str, database_id: str, ts: int) -> None:
+        """Append one login to a registered history (ascending, deduped
+        on timestamp, mirroring ``HistoryStore`` semantics) and bump the
+        login version so cached predictions invalidate."""
+        logins, paused = self._fleet[region][database_id]
+        if logins and ts < logins[-1]:
+            raise ConfigError(
+                f"login {ts} is older than the newest history entry "
+                f"{logins[-1]} for {database_id!r}"
+            )
+        if logins and ts == logins[-1]:
+            return
+        self._fleet[region][database_id] = (tuple(logins) + (ts,), paused)
+        self._version_stamp += 1
+        self._login_versions[(region, database_id)] = self._version_stamp
+
+    def _resolve_database(
+        self, region: str, database_id: str
+    ) -> Tuple[Sequence[int], int]:
+        """``(logins, login_version)`` for a by-id request, or a typed
+        protocol error when the database is not registered."""
+        fleet = self._fleet.get(region)
+        entry = fleet.get(database_id) if fleet is not None else None
+        if entry is None:
+            raise ServingProtocolError(
+                f"unknown database {database_id!r} in region {region!r}"
+            )
+        logins, _paused = entry
+        version_of = getattr(fleet, "login_version", None)
+        if version_of is not None:
+            return logins, version_of(database_id)
+        return logins, self._login_versions.get((region, database_id), 0)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,6 +297,12 @@ class PredictionServer:
 
     async def start(self) -> None:
         """Start the dispatch loop; idempotent until stopped."""
+        self._ensure_started()
+
+    def _ensure_started(self) -> None:
+        """The synchronous body of :meth:`start`, callable from the
+        fast path (it only creates the dispatch task, so it needs a
+        running event loop but never awaits)."""
         if self._started:
             return
         if self._stopping:
@@ -326,22 +398,48 @@ class PredictionServer:
 
     async def submit(self, request: Request) -> Response:
         """Serve one request; always returns a typed response."""
+        response, future = self.submit_nowait(request)
+        if response is not None:
+            return response
+        return await future  # type: ignore[return-value]
+
+    def submit_nowait(
+        self, request: Request
+    ) -> Tuple[Optional[Response], Optional["asyncio.Future"]]:
+        """Admit one request without awaiting it.
+
+        Returns ``(response, None)`` when the request resolves
+        synchronously -- health/metrics probes, typed admission
+        rejections, and by-id prediction-cache hits -- else ``(None,
+        future)`` with the request enqueued for the dispatch loop;
+        awaiting the future yields the typed response.  The sharded
+        worker's pipelined front end calls this directly so the cache-hit
+        hot path never allocates a task or future.  Must be called from
+        within a running event loop.
+        """
         if OBS.enabled:
             OBS.metrics.counter(f"serving.requests.{request.kind}").inc()
             OBS.metrics.counter_series(
                 "serving.requests.window", window_s=SERVING_WINDOW_S
             ).inc(self._clock())
         if isinstance(request, HealthRequest):
-            return self._health(request)
+            return self._health(request), None
         if isinstance(request, MetricsRequest):
-            return self._metrics(request)
+            return self._metrics(request), None
         if not self._started and not self._stopping:
-            await self.start()
+            self._ensure_started()
         rejection = self.admission.admit(
             request, depth=self.depth(), stopping=self._stopping
         )
         if rejection is not None:
-            return rejection
+            return rejection, None
+        if (
+            isinstance(request, PredictRequest)
+            and request.database_id is not None
+        ):
+            fast = self._fast_predict(request)
+            if fast is not None:
+                return fast, None
         loop = asyncio.get_running_loop()
         entry = _QueueEntry(request, loop.create_future(), self._clock())
         self._queue.put_nowait(entry)
@@ -350,7 +448,58 @@ class PredictionServer:
             self.stats.max_depth = depth
         if OBS.enabled:
             OBS.metrics.gauge("serving.queue.depth").set(depth)
-        return await entry.future
+        return None, entry.future
+
+    def _fast_predict(self, request: PredictRequest) -> Optional[Response]:
+        """The synchronous by-id path: resolve the history, probe the
+        prediction cache.  A hit (or a typed resolution error) answers
+        immediately; ``None`` means cache miss -- fall through to the
+        batched path, which fills the cache."""
+        try:
+            self._config(request.config)
+            _, version = self._resolve_database(
+                request.region, request.database_id
+            )
+        except ServingProtocolError as exc:
+            self.stats.served += 1
+            self.stats.count("invalid")
+            if OBS.enabled:
+                OBS.metrics.counter("serving.served").inc()
+            return InvalidRequest(request.request_id, str(exc))
+        key = (
+            request.region,
+            request.config,
+            request.database_id,
+            version,
+            request.now,
+        )
+        hit = self._cache.get(key)
+        if hit is None:
+            self.stats.cache_misses += 1
+            if OBS.enabled:
+                OBS.metrics.counter("serving.cache.misses").inc()
+            return None
+        self.stats.cache_hits += 1
+        self.stats.served += 1
+        self.stats.count("predict")
+        if OBS.enabled:
+            OBS.metrics.counter("serving.cache.hits").inc()
+            OBS.metrics.counter("serving.served").inc()
+        return PredictResponse(
+            request_id=request.request_id,
+            prediction=hit,
+            batch_size=1,
+            queue_wait_ms=0.0,
+        )
+
+    def _cache_put(self, key: tuple, prediction: PredictedActivity) -> None:
+        limit = self.settings.prediction_cache_size
+        if limit <= 0:
+            return
+        cache = self._cache
+        if key not in cache and len(cache) >= limit:
+            del cache[next(iter(cache))]  # FIFO eviction
+        cache[key] = prediction
 
     def _health(self, request: HealthRequest) -> HealthResponse:
         if OBS.enabled:
@@ -364,6 +513,8 @@ class PredictionServer:
             "batches": self.batcher.batches,
             "batched_requests": self.batcher.batched_requests,
             "breaker_opens": self._breaker.opens,
+            "cache_hits": self.stats.cache_hits,
+            "cache_misses": self.stats.cache_misses,
             **{f"shed_{k}": v for k, v in self.admission.shed.items()},
         }
         if self.slo_monitor is not None:
@@ -508,9 +659,24 @@ class PredictionServer:
         self, request: PredictRequest, waited_ms: float
     ) -> Response:
         self._config(request.config)  # validate before batching
+        logins: Sequence[int] = request.logins
+        cache_key: Optional[tuple] = None
+        if request.database_id is not None:
+            logins, version = self._resolve_database(
+                request.region, request.database_id
+            )
+            cache_key = (
+                request.region,
+                request.config,
+                request.database_id,
+                version,
+                request.now,
+            )
         prediction, batch_size = await self.batcher.submit(
-            (request.region, request.config), request.logins, request.now
+            (request.region, request.config), logins, request.now
         )
+        if cache_key is not None:
+            self._cache_put(cache_key, prediction)
         return PredictResponse(
             request_id=request.request_id,
             prediction=prediction,

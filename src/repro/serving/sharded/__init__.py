@@ -1,0 +1,26 @@
+"""Shared-nothing sharded serving tier.
+
+A thin asyncio router process consistent-hashes registered databases by
+region onto N worker processes, each running the existing admission ->
+micro-batcher -> ``FastPredictor.predict_fleet`` pipeline.  Fleet login
+history lives in a zero-copy shared-memory arena
+(:mod:`repro.serving.sharded.arena`) the router owns and every worker
+maps read-only, so the hot path never serialises login arrays.
+
+``docs/serving.md`` has the full architecture; ``serve --shards N``
+wires it up (N=1 falls back to the in-process gateway).
+"""
+
+from repro.serving.sharded.arena import ArenaSpec, SharedHistoryArena
+from repro.serving.sharded.hashring import HashRing
+from repro.serving.sharded.router import RouterSettings, ShardRouter
+from repro.serving.sharded.worker import WorkerSpec
+
+__all__ = [
+    "ArenaSpec",
+    "SharedHistoryArena",
+    "HashRing",
+    "RouterSettings",
+    "ShardRouter",
+    "WorkerSpec",
+]

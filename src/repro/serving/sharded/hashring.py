@@ -1,0 +1,75 @@
+"""Consistent hashing of regions onto worker shards.
+
+The router places each *region* (the unit of prediction locality --
+databases never share prediction state across regions, per the paper's
+per-region fleets and "Serverless in the Wild"'s partitioning argument)
+on a ring of virtual nodes.  ``sha1`` keys the ring because it is stable
+across processes and runs -- Python's ``hash()`` is salted per process,
+which would scatter every restart's routing.
+
+Replica candidates for a key are the first R *distinct* workers walking
+clockwise from the key's point; the router tries them in order and sheds
+only when every candidate's outstanding-request window is full or its
+breaker is open.  Adding/removing a worker moves only the ring arcs it
+owned -- the classic consistent-hashing property, which keeps worker
+respawn from re-routing the whole fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Virtual nodes per worker: enough to even out region placement for
+#: single-digit worker counts without bloating ring rebuilds.
+DEFAULT_VNODES = 64
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """An immutable-after-build consistent-hash ring over worker ids."""
+
+    def __init__(self, workers: Sequence[int], vnodes: int = DEFAULT_VNODES):
+        if not workers:
+            raise ConfigError("hash ring needs at least one worker")
+        if vnodes < 1:
+            raise ConfigError("vnodes must be at least 1")
+        self.workers = tuple(sorted(set(workers)))
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for worker in self.workers:
+            for v in range(vnodes):
+                points.append((_point(f"worker:{worker}:{v}"), worker))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    def candidates(self, key: str, replicas: int = 2) -> Tuple[int, ...]:
+        """The first ``replicas`` distinct workers clockwise from
+        ``key``'s ring point, primary first."""
+        want = min(replicas, len(self.workers))
+        start = bisect.bisect(self._points, _point(key)) % len(self._points)
+        out: List[int] = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == want:
+                    break
+        return tuple(out)
+
+    def primary(self, key: str) -> int:
+        return self.candidates(key, replicas=1)[0]
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, int]:
+        """``key -> primary worker`` for a whole key set (used by tests
+        and the bench to report shard balance)."""
+        return {key: self.primary(key) for key in keys}
