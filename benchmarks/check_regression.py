@@ -270,6 +270,40 @@ CHECKS: Tuple[object, ...] = (
         "sharded same-modality speedup at 2 workers holds",
         ("speedup_2w_vs_fresh_single",),
     ),
+    BoundCheck(
+        "BENCH_tuning_quick.json",
+        "online tuning dominates the static sweep under archetype drift",
+        value="scenarios.archetype_switch.dominates",
+        positive=True,
+    ),
+    BoundCheck(
+        "BENCH_tuning_quick.json",
+        "online tuning dominates the static sweep under DST drift",
+        value="scenarios.dst_shift.dominates",
+        positive=True,
+    ),
+    RatioCheck(
+        "BENCH_tuning_quick.json",
+        "online QoS holds its lead over static under archetype drift",
+        ("scenarios.archetype_switch.qos_ratio",),
+    ),
+    RatioCheck(
+        "BENCH_tuning_quick.json",
+        "online QoS holds its lead over static under DST drift",
+        ("scenarios.dst_shift.qos_ratio",),
+    ),
+    BoundCheck(
+        "BENCH_tuning_quick.json",
+        "online idle stays within the COGS guard under DST drift",
+        value="scenarios.dst_shift.online_idle_percent",
+        limit="scenarios.dst_shift.idle_guard_percent",
+    ),
+    BoundCheck(
+        "BENCH_tuning_quick.json",
+        "no-op online configuration reproduces the static series",
+        value="static_sanity.identical",
+        positive=True,
+    ),
 )
 
 

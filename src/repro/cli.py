@@ -5,6 +5,7 @@ Subcommands::
     python -m repro simulate --region EU1 --databases 200 --policy proactive
     python -m repro figures --which fig6 fig9 --databases 250
     python -m repro tune --region US1 --databases 150
+    python -m repro tune-online --databases 60 --drift dst_shift
     python -m repro observe --databases 50 --chrome-trace trace.json
     python -m repro chaos --fault-rates 0.0 0.1 --check-monotonic
     python -m repro serve --port 7077
@@ -12,7 +13,9 @@ Subcommands::
 
 ``simulate`` prints the KPI report of one policy on one region fleet;
 ``figures`` regenerates evaluation figures (tables to stdout); ``tune``
-runs the training pipeline over the window/confidence grid; ``observe``
+runs the training pipeline over the window/confidence grid;
+``tune-online`` replaces that offline sweep with the windowed online
+knob tuner + predictor bank (docs/tuning.md); ``observe``
 runs one instrumented simulation and exports its trace and metrics;
 ``chaos`` sweeps an injected fault rate against QoS/COGS
 (docs/resilience.md); ``serve`` runs the online prediction/resume
@@ -75,6 +78,58 @@ def build_parser() -> argparse.ArgumentParser:
     _common_fleet_args(tune)
     _workers_arg(tune)
     _observability_args(tune)
+
+    tune_online = sub.add_parser(
+        "tune-online",
+        help="windowed online knob tuning + predictor bank against the "
+        "static baseline (docs/tuning.md)",
+    )
+    tune_online.add_argument(
+        "--databases", type=int, default=60,
+        help="synthetic fleet size (columnar lean engine)",
+    )
+    tune_online.add_argument("--span-days", type=int, default=15)
+    tune_online.add_argument("--seed", type=int, default=1)
+    tune_online.add_argument(
+        "--windows", type=int, default=3,
+        help="aligned one-day evaluation windows to drive the tuner over",
+    )
+    tune_online.add_argument(
+        "--start-day", type=int, default=None,
+        help="day the first window opens (default: span-days - windows)",
+    )
+    tune_online.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="predictor-bank policies (default: sliding hybrid_histogram "
+        "survival); pass --no-bank to disable the bank entirely",
+    )
+    tune_online.add_argument(
+        "--no-bank", action="store_true",
+        help="run the tuner without the predictor bank (the online series "
+        "is the active candidate's plain evaluation)",
+    )
+    tune_online.add_argument(
+        "--drift",
+        choices=["none", "archetype_switch", "dst_shift", "migration"],
+        default="none",
+        help="inject a workload drift the static baseline cannot follow",
+    )
+    tune_online.add_argument(
+        "--drift-day", type=int, default=None,
+        help="day the drift lands (default: 2/3 through the span)",
+    )
+    tune_online.add_argument(
+        "--shift-minutes", type=int, default=60,
+        help="schedule shift for dst_shift/migration drifts",
+    )
+    tune_online.add_argument(
+        "--state-dir", metavar="PATH", default=None,
+        help="journal tuner decisions to a WAL + checkpoints here; an "
+        "existing directory is recovered and the run resumes from the "
+        "first un-journaled window (docs/durability.md)",
+    )
+    _workers_arg(tune_online)
+    _observability_args(tune_online)
 
     chaos = sub.add_parser(
         "chaos",
@@ -505,12 +560,16 @@ def cmd_tune(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     pipeline = TrainingPipeline(traces, scale.settings())
-    grid = ParameterGrid(
-        {
-            "window_s": [2 * HOUR, 5 * HOUR, 7 * HOUR],
-            "confidence": [0.1, 0.3, 0.5],
-        }
-    )
+    from repro.tuning.candidates import validate_knob_candidates
+
+    grid_values = {
+        "window_s": [2 * HOUR, 5 * HOUR, 7 * HOUR],
+        "confidence": [0.1, 0.3, 0.5],
+    }
+    # Same validation path as tune-online: bad knob names or values fail
+    # here, at configuration time, not deep inside the sweep.
+    validate_knob_candidates(ProRPConfig(), grid_values)
+    grid = ParameterGrid(grid_values)
     report = pipeline.run(ProRPConfig(), grid, workers=args.workers)
     rows = [
         [
@@ -533,6 +592,131 @@ def cmd_tune(args: argparse.Namespace) -> int:
     print(
         f"\nselected: window = {best.window_s // HOUR}h, "
         f"confidence = {best.confidence}"
+    )
+    return 0
+
+
+def cmd_tune_online(args: argparse.Namespace) -> int:
+    """Drive the online knob tuner + predictor bank and print the
+    per-window decision log alongside the online-vs-static verdict."""
+    from pathlib import Path
+
+    from repro.config import DEFAULT_CONFIG
+    from repro.simulation.region import SimulationSettings
+    from repro.tuning.candidates import candidate_population, default_candidates
+    from repro.tuning.controller import OnlineKnobTuner
+    from repro.tuning.driver import run_online_tuning
+    from repro.tuning.metrics import register_tuning_metrics
+    from repro.workload.fleetgen import DriftSpec, FleetShardSpec
+
+    if args.windows < 1:
+        print("--windows must be >= 1")
+        return 2
+    start_day = (
+        args.start_day
+        if args.start_day is not None
+        else max(1, args.span_days - args.windows)
+    )
+    if start_day + args.windows > args.span_days:
+        print(
+            f"--start-day {start_day} + --windows {args.windows} overruns "
+            f"the {args.span_days}-day span"
+        )
+        return 2
+    base = FleetShardSpec(
+        n_databases=args.databases, span_days=args.span_days, seed=args.seed
+    )
+    fleet = base
+    if args.drift != "none":
+        drift_day = (
+            args.drift_day
+            if args.drift_day is not None
+            else args.span_days * 2 // 3
+        )
+        fleet = DriftSpec(
+            base,
+            kind=args.drift,
+            at_day=drift_day,
+            shift_minutes=args.shift_minutes,
+        )
+    if OBS.enabled:
+        register_tuning_metrics(OBS.metrics)
+    # Clamp the baseline's history to the synthetic span: with the
+    # production 28-day retention every database on a short fleet would
+    # stay "new" (unpredictable, Section 4) and both arms would score a
+    # meaningless 0.
+    baseline = DEFAULT_CONFIG.with_overrides(
+        history_days=min(
+            DEFAULT_CONFIG.history_days, max(2, args.span_days // 2)
+        )
+    )
+    challengers = tuple(
+        candidate_population(baseline, default_candidates(baseline))
+    )
+    policies: tuple = ()
+    if not args.no_bank:
+        policies = tuple(
+            args.policies
+            if args.policies
+            else ("sliding", "hybrid_histogram", "survival")
+        )
+    tuner = None
+    if args.state_dir and (Path(args.state_dir) / "wal").exists():
+        tuner = OnlineKnobTuner.recover(baseline, challengers, args.state_dir)
+        print(
+            f"recovered tuner from {args.state_dir}: resuming at window "
+            f"{tuner.expected_window}, active candidate {tuner.active_index}"
+        )
+    report = run_online_tuning(
+        fleet,
+        baseline,
+        challengers,
+        n_windows=args.windows,
+        settings=SimulationSettings(
+            eval_start=start_day * DAY, eval_end=(start_day + 1) * DAY
+        ),
+        policies=policies,
+        online_warmup_s=3 * DAY,
+        state_dir=args.state_dir,
+        tuner=tuner,
+        workers=args.workers,
+    )
+    rows = []
+    for outcome in report.windows:
+        decision = outcome.decision
+        event = "-"
+        if decision.promoted is not None:
+            event = f"promoted #{decision.promoted}"
+        elif decision.demoted:
+            event = "demoted to baseline"
+        elif decision.pruned:
+            event = f"pruned {list(decision.pruned)}"
+        rows.append(
+            [
+                outcome.window,
+                decision.active,
+                len(decision.alive),
+                round(outcome.online_score, 2),
+                round(outcome.static_score, 2),
+                event,
+            ]
+        )
+    print(
+        format_table(
+            ["window", "active", "alive", "online", "static", "event"],
+            rows,
+            title=f"online tuning: {args.databases} databases, "
+            f"{len(challengers)} challengers, drift={args.drift}",
+        )
+    )
+    print(
+        f"\nonline {report.online_score:.2f} vs static "
+        f"{report.static_score:.2f} "
+        f"(QoS {report.online_kpis.qos_percent:.1f}% vs "
+        f"{report.static_kpis.qos_percent:.1f}%, idle "
+        f"{report.online_kpis.idle_percent:.1f}% vs "
+        f"{report.static_kpis.idle_percent:.1f}%) -- "
+        + ("online dominates" if report.dominates_static else "static wins")
     )
     return 0
 
@@ -859,6 +1043,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_figures(args)
     if args.command == "tune":
         return cmd_tune(args)
+    if args.command == "tune-online":
+        return cmd_tune_online(args)
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "serve":

@@ -137,3 +137,9 @@ class ControlPlaneCrashError(ProRPError):
 
 class CapacityError(ProRPError):
     """A cluster node could not satisfy a resource allocation request."""
+
+
+class TuningError(ProRPError):
+    """The online knob tuner was driven inconsistently (out-of-order
+    evaluation window, missing incumbent score, or a journal that
+    contradicts the recovered tuner state)."""

@@ -34,6 +34,8 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -122,6 +124,14 @@ class ServingSettings:
     #: the key includes the history's login version, so a router-side
     #: append invalidates exactly the affected database.
     prediction_cache_size: int = 8192
+    #: Predictor-bank policies (:data:`repro.tuning.bank.BANK_POLICIES`)
+    #: routing identity-carrying predictions and resume scans.  Empty
+    #: (the default) or ``("sliding",)`` leaves the batched
+    #: FastPredictor path byte-identical; richer banks re-rank each
+    #: database's prediction *after* the batched evaluation, so the
+    #: micro-batching hot path is untouched.  ``append_login`` is the
+    #: bank's login-feedback hook.
+    predictor_bank: Tuple[str, ...] = ()
     #: When set, ``stop()`` flushes the live metrics snapshot here
     #: (JSON when the path ends in .json, plain text otherwise).
     metrics_out: Optional[str] = None
@@ -208,6 +218,16 @@ class PredictionServer:
             name="serving.predictor",
         )
         self.stats = ServerStats()
+        #: config name -> PredictorBank, keyed per (region, database id).
+        #: Built eagerly so bad policy names fail at construction time.
+        self._banks: Dict[str, "PredictorBank"] = {}
+        if self.settings.predictor_bank:
+            from repro.tuning.bank import PredictorBank
+
+            self._banks = {
+                name: PredictorBank(self.settings.predictor_bank, config)
+                for name, config in self._configs.items()
+            }
         #: region -> database id -> (sorted logins, physically paused?).
         #: Values may be plain dicts (in-process registry) or read-only
         #: shared-memory views (:meth:`attach_fleet` on sharded workers);
@@ -273,6 +293,8 @@ class PredictionServer:
         self._fleet[region][database_id] = (tuple(logins) + (ts,), paused)
         self._version_stamp += 1
         self._login_versions[(region, database_id)] = self._version_stamp
+        for bank in self._banks.values():
+            bank.observe_login((region, database_id), ts)
 
     def _resolve_database(
         self, region: str, database_id: str
@@ -517,6 +539,12 @@ class PredictionServer:
             "cache_misses": self.stats.cache_misses,
             **{f"shed_{k}": v for k, v in self.admission.shed.items()},
         }
+        if self._banks:
+            stats["bank_switches"] = sum(
+                bank.switches for bank in self._banks.values()
+            )
+            for bank in self._banks.values():
+                bank.publish_shares()
         if self.slo_monitor is not None:
             ledger = self.slo_monitor.ledger
             active = ledger.active()
@@ -655,6 +683,29 @@ class PredictionServer:
             raise ServingProtocolError(f"unknown config {name!r}")
         return config
 
+    def _bank_predict(
+        self,
+        config_name: str,
+        region: str,
+        database_id: str,
+        logins: Sequence[int],
+        now: int,
+        sliding: PredictedActivity,
+    ) -> PredictedActivity:
+        """Route one identity-carrying prediction through the predictor
+        bank.  The batched FastPredictor result doubles as the bank's
+        sliding arm (and the hybrid fallback), so a ``("sliding",)`` bank
+        -- or no bank at all -- returns ``sliding`` unchanged."""
+        bank = self._banks.get(config_name)
+        if bank is None:
+            return sliding
+        return bank.predict(
+            (region, database_id),
+            now,
+            lambda: np.asarray(logins, dtype=np.int64),
+            lambda: sliding,
+        )
+
     async def _handle_predict(
         self, request: PredictRequest, waited_ms: float
     ) -> Response:
@@ -675,6 +726,15 @@ class PredictionServer:
         prediction, batch_size = await self.batcher.submit(
             (request.region, request.config), logins, request.now
         )
+        if request.database_id is not None:
+            prediction = self._bank_predict(
+                request.config,
+                request.region,
+                request.database_id,
+                logins,
+                request.now,
+                prediction,
+            )
         if cache_key is not None:
             self._cache_put(cache_key, prediction)
         return PredictResponse(
@@ -707,6 +767,20 @@ class PredictionServer:
         predictions = self._run_batch(
             key, [logins for _, logins in paused], request.now
         )
+        if self._banks:
+            predictions = [
+                self._bank_predict(
+                    request.config,
+                    request.region,
+                    database_id,
+                    logins,
+                    request.now,
+                    prediction,
+                )
+                for (database_id, logins), prediction in zip(
+                    paused, predictions
+                )
+            ]
         window_start = request.now + request.prewarm_s
         window_end = window_start + request.period_s
         selected = tuple(

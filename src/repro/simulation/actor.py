@@ -495,6 +495,8 @@ class ProactiveActor(_BaseActor):
         prorp_outages: Sequence = (),
         breaker: Optional[CircuitBreaker] = None,
         prediction_cache: Optional[PredictionCache] = None,
+        bank: Optional["PredictorBank"] = None,
+        bank_key: Optional[str] = None,
     ):
         super().__init__(
             trace,
@@ -508,6 +510,11 @@ class ProactiveActor(_BaseActor):
             maintenance=maintenance,
         )
         self.history = history if history is not None else HistoryStore()
+        #: Region-shared predictor bank (repro.tuning.bank); None keeps the
+        #: paper's single sliding-window path.  A sliding-only bank is a
+        #: pure delegate, byte-identical to None.
+        self._bank = bank
+        self._bank_key = bank_key if bank_key is not None else trace.database_id
         self._fast_predictor = fast_predictor
         self._measure_latency = measure_prediction_latency
         self._collect_predictions = collect_predictions
@@ -528,6 +535,8 @@ class ProactiveActor(_BaseActor):
 
     def _record_history(self, now: int, event_type: EventType) -> None:
         self.history.insert_history(now, event_type)
+        if self._bank is not None and event_type is EventType.ACTIVITY_START:
+            self._bank.observe_login(self._bank_key, now)
 
     def _prediction_config(self, now: int) -> ProRPConfig:
         """The Algorithm 4 configuration for this database right now: the
@@ -610,7 +619,20 @@ class ProactiveActor(_BaseActor):
             if FAULTS.enabled:
                 elapsed += FAULTS.injector.latency_s(LATENCY_FAULT_POINT, now)
             self.outcome.record_prediction_latency(elapsed)
-        elif self._fast_predictor is not None:
+            return
+        if self._bank is not None:
+            self.next_activity = self._bank.predict(
+                self._bank_key,
+                now,
+                self.history.login_array,
+                lambda: self._predict_sliding(config, now),
+            )
+            return
+        self.next_activity = self._predict_sliding(config, now)
+
+    def _predict_sliding(self, config: ProRPConfig, now: int) -> PredictedActivity:
+        """The paper's sliding-window path (Algorithm 4), cache included."""
+        if self._fast_predictor is not None:
             if config is self.config:
                 predictor = self._fast_predictor
             else:
@@ -619,21 +641,17 @@ class ProactiveActor(_BaseActor):
                 predictor = get_fast_predictor(config)
             cache = self._prediction_cache
             if cache is None:
-                self.next_activity = predictor.predict(
-                    self.history.login_array(), now
-                )
-                return
+                return predictor.predict(self.history.login_array(), now)
             # The cache is consulted only after the fault point above, so
             # injector consult order is identical with and without it.
             login_version = self.history.login_version
             cached = cache.get(login_version, config, now)
             if cached is not None:
-                self.next_activity = cached
-                return
-            self.next_activity = predictor.predict(self.history.login_array(), now)
-            cache.put(login_version, config, now, self.next_activity)
-        else:
-            self.next_activity = predict_next_activity(self.history, config, now)
+                return cached
+            prediction = predictor.predict(self.history.login_array(), now)
+            cache.put(login_version, config, now, prediction)
+            return prediction
+        return predict_next_activity(self.history, config, now)
 
     # ------------------------------------------------------------------
     # Settle-phase batching (region-driven)

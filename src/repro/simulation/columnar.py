@@ -384,6 +384,7 @@ class ColumnarRegionEngine:
         prorp_outages: Sequence[Tuple[int, int]] = (),
         collect_predictions: bool = False,
         preplaced_nodes: Optional[Sequence[str]] = None,
+        bank=None,
     ):
         self.s = state
         self.proactive = proactive
@@ -402,6 +403,10 @@ class ColumnarRegionEngine:
         #: Node ids from a bulk ``place_fleet`` (lean mode); None means
         #: ``_start`` places each database itself (actor parity).
         self.preplaced_nodes = preplaced_nodes
+        #: Region-shared predictor bank (repro.tuning.bank); None keeps the
+        #: paper's single sliding-window path.  A sliding-only bank is a
+        #: pure delegate, byte-identical to None.
+        self.bank = bank
         self._now = sim_start
         self._seq = 0
         self._heap: List[Tuple[int, int, int, int, int]] = []
@@ -558,6 +563,23 @@ class ColumnarRegionEngine:
                 PREDICTOR_FAULT_POINT, "injected: predictor backend failure"
             )
         config = self._prediction_config(d, now)
+        if self.bank is not None:
+            self._set_next_activity(
+                d,
+                self.bank.predict(
+                    d,
+                    now,
+                    lambda: self.hist.login_array(d),
+                    lambda: self._predict_sliding(d, config, now),
+                ),
+            )
+            return
+        self._set_next_activity(d, self._predict_sliding(d, config, now))
+
+    def _predict_sliding(
+        self, d: int, config: ProRPConfig, now: int
+    ) -> PredictedActivity:
+        """The paper's sliding-window path (Algorithm 4), cache included."""
         if self.fast_predictor is not None:
             if config is self.config:
                 predictor = self.fast_predictor
@@ -565,22 +587,15 @@ class ColumnarRegionEngine:
                 predictor = get_fast_predictor(config)
             cache = self.caches[d]
             if cache is None:
-                self._set_next_activity(
-                    d, predictor.predict(self.hist.login_array(d), now)
-                )
-                return
+                return predictor.predict(self.hist.login_array(d), now)
             login_version = self.hist.login_version(d)
             cached = cache.get(login_version, config, now)
             if cached is not None:
-                self._set_next_activity(d, cached)
-                return
+                return cached
             prediction = predictor.predict(self.hist.login_array(d), now)
-            self._set_next_activity(d, prediction)
             cache.put(login_version, config, now, prediction)
-        else:
-            self._set_next_activity(
-                d, predict_next_activity(self.hist.store(d), config, now)
-            )
+            return prediction
+        return predict_next_activity(self.hist.store(d), config, now)
 
     # -- settle-phase batching (region-driven) -----------------------------
 
@@ -780,6 +795,8 @@ class ColumnarRegionEngine:
         """Port of ``_BaseActor._on_session_start``."""
         s = self.s
         self.hist.record(d, now, EventType.ACTIVITY_START)
+        if self.bank is not None:
+            self.bank.observe_login(d, now)
         s.idle_since[d] = NONE_TS
         phase = s.phase[d]
         if phase == PH_LOGICAL:
@@ -1179,6 +1196,15 @@ def actor_views(engine: ColumnarRegionEngine) -> List[ActorView]:
 # ---------------------------------------------------------------------------
 
 
+def _build_bank(settings, config: ProRPConfig, proactive: bool):
+    """The region's shared PredictorBank, or None when disabled."""
+    if not settings.predictor_bank or not proactive:
+        return None
+    from repro.tuning.bank import PredictorBank
+
+    return PredictorBank(settings.predictor_bank, config)
+
+
 def simulate_region_columnar(
     traces: Sequence[ActivityTrace],
     policy,
@@ -1304,6 +1330,7 @@ def simulate_region_columnar(
         breaker=breaker,
         prorp_outages=settings.prorp_outages,
         collect_predictions=settings.collect_predictions,
+        bank=_build_bank(settings, config, proactive),
     )
 
     if fast_predictor is not None and settings.use_prediction_cache:

@@ -53,10 +53,11 @@ from repro.simulation.columnar import (
     ColumnarState,
     NullHistory,
     StoreCluster,
+    _build_bank,
 )
 from repro.simulation.region import SimulationSettings
 from repro.types import SECONDS_PER_DAY, EventType
-from repro.workload.fleetgen import FleetShardSpec, FleetSlice
+from repro.workload.fleetgen import DriftSpec, FleetShardSpec, FleetSlice
 
 
 class LeanAccounting:
@@ -583,7 +584,7 @@ def _check_lean_supported(
 
 
 def simulate_fleet(
-    fleet: Union[FleetSlice, FleetShardSpec],
+    fleet: Union[FleetSlice, FleetShardSpec, DriftSpec],
     policy: Union[PolicyKind, str] = PolicyKind.PROACTIVE,
     config: ProRPConfig = DEFAULT_CONFIG,
     settings: Optional[SimulationSettings] = None,
@@ -596,7 +597,7 @@ def simulate_fleet(
     """
     if isinstance(policy, str):
         policy = PolicyKind(policy)
-    if isinstance(fleet, FleetShardSpec):
+    if isinstance(fleet, (FleetShardSpec, DriftSpec)):
         fleet = fleet.materialize()
     if settings is None:
         span_end = int(fleet.ends.max()) if fleet.n_sessions else SECONDS_PER_DAY
@@ -676,6 +677,7 @@ def simulate_fleet(
         caches=caches,
         prorp_outages=settings.prorp_outages,
         preplaced_nodes=preplaced,
+        bank=_build_bank(settings, config, proactive),
     )
 
     if fast_predictor is not None and settings.use_prediction_cache:
@@ -829,7 +831,7 @@ def _shard_worker(context, item) -> Tuple[KpiReport, int, int, int, int]:
 
 
 def simulate_fleet_sharded(
-    spec: FleetShardSpec,
+    spec: Union[FleetShardSpec, DriftSpec],
     policy: Union[PolicyKind, str] = PolicyKind.PROACTIVE,
     config: ProRPConfig = DEFAULT_CONFIG,
     settings: Optional[SimulationSettings] = None,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster import Cluster
 from repro.config import DEFAULT_CONFIG, ProRPConfig
@@ -96,10 +96,25 @@ class SimulationSettings:
     #: Window width (sim seconds) of the live SLO streams fed by the
     #: columnar engines when observability is enabled.
     slo_window_s: int = 900
+    #: Predictor-bank policies (``repro.tuning.bank.BANK_POLICIES`` names)
+    #: the proactive engines route predictions through; the empty tuple
+    #: disables the bank entirely (the byte-identical baseline).  A bank
+    #: of exactly ``("sliding",)`` is a pure delegate and is likewise
+    #: byte-identical to the baseline.
+    predictor_bank: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.eval_end <= self.eval_start:
             raise SimulationError("eval_end must be after eval_start")
+        if self.predictor_bank:
+            from repro.tuning.bank import BANK_POLICIES
+
+            for name in self.predictor_bank:
+                if name not in BANK_POLICIES:
+                    raise SimulationError(
+                        f"unknown predictor-bank policy {name!r} "
+                        f"(known: {', '.join(BANK_POLICIES)})"
+                    )
         if self.slo_window_s <= 0:
             raise SimulationError("slo_window_s must be positive")
         if self.engine not in ("columnar", "actor"):
@@ -318,6 +333,11 @@ def _simulate_region(
         if FAULTS.enabled and policy is PolicyKind.PROACTIVE
         else None
     )
+    bank = None
+    if settings.predictor_bank and policy is PolicyKind.PROACTIVE:
+        from repro.tuning.bank import PredictorBank
+
+        bank = PredictorBank(settings.predictor_bank, config)
 
     for trace in traces:
         outcome = DatabaseOutcome(
@@ -359,6 +379,8 @@ def _simulate_region(
                     if fast_predictor is not None and settings.use_prediction_cache
                     else None
                 ),
+                bank=bank,
+                bank_key=trace.database_id,
             )
         else:
             actor = ReactiveActor(

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Sequence
 from repro.config import ProRPConfig
 from repro.errors import ConfigError
 from repro.training.pipeline import CandidateResult, TrainingPipeline
+from repro.tuning.candidates import validate_knob_candidates
 
 
 @dataclass(frozen=True)
@@ -43,22 +44,19 @@ def rank_knobs(
     """Rank knobs by objective sensitivity (most impactful first).
 
     ``candidates`` maps ProRPConfig field names to the values to probe.
-    Values that fail config validation are skipped; a knob whose values all
-    fail raises :class:`ConfigError` (the probe set is wrong, not the knob).
+    The probe set is validated up front by the same
+    :func:`~repro.tuning.candidates.validate_knob_candidates` helper the
+    online tuner uses: an unknown knob name or a value the config rejects
+    raises :class:`ConfigError` *before* any simulation runs, instead of
+    silently shrinking the sweep.
     """
+    validate_knob_candidates(base, candidates)
     impacts: List[KnobImpact] = []
     for knob, values in sorted(candidates.items()):
-        results: List[CandidateResult] = []
-        for value in values:
-            try:
-                config = base.with_overrides(**{knob: value})
-            except ConfigError:
-                continue
-            results.append(pipeline.evaluate(config))
-        if not results:
-            raise ConfigError(
-                f"no valid candidate value for knob {knob!r} out of {values!r}"
-            )
+        results: List[CandidateResult] = [
+            pipeline.evaluate(base.with_overrides(**{knob: value}))
+            for value in values
+        ]
         scores = [r.score for r in results]
         qos = [r.kpis.qos_percent for r in results]
         idle = [r.kpis.idle_percent for r in results]

@@ -1,0 +1,104 @@
+"""Knob-candidate generation and the shared validation helper.
+
+Section 8 of the paper tunes ``l`` (logical pause), ``c`` (confidence)
+and ``w`` (window size) with an offline monthly grid sweep.  The online
+tuner replaces that sweep with a small *population* of candidate configs
+evaluated live; this module builds and validates that population.
+
+``validate_knob_candidates`` is the one validation path shared by the
+``tune`` CLI sweep (:mod:`repro.training.knob_selection`) and the
+``tune-online`` driver: an unknown knob name or a value the config
+rejects fails *at configuration time* with a typed
+:class:`~repro.errors.ConfigError`, instead of being silently skipped
+deep inside the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.config import ProRPConfig
+from repro.errors import ConfigError
+
+#: The knobs the online tuner varies (Table 1's ``l``, ``c``, ``w``).
+TUNABLE_KNOBS = ("logical_pause_s", "confidence", "window_s")
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(ProRPConfig))
+
+
+def validate_knob_candidates(
+    base: ProRPConfig, candidates: Mapping[str, Sequence[Any]]
+) -> None:
+    """Fail fast on any invalid knob name or candidate value.
+
+    Each value is applied to ``base`` *in isolation* (one knob at a
+    time), exactly the way ``rank_knobs`` evaluates them, so a value
+    that can never produce a valid config raises :class:`ConfigError`
+    here instead of vanishing from the sweep.
+    """
+    for knob in candidates:
+        if knob not in _CONFIG_FIELDS:
+            raise ConfigError(
+                f"unknown knob {knob!r}: not a ProRPConfig field "
+                f"(tunable knobs include {', '.join(TUNABLE_KNOBS)})"
+            )
+        values = candidates[knob]
+        if not values:
+            raise ConfigError(f"knob {knob!r} has no candidate values")
+        for value in values:
+            try:
+                base.with_overrides(**{knob: value})
+            except ConfigError as exc:
+                raise ConfigError(
+                    f"invalid candidate for knob {knob!r}: {value!r} ({exc})"
+                ) from exc
+
+
+def candidate_population(
+    base: ProRPConfig, candidates: Mapping[str, Sequence[Any]]
+) -> List[ProRPConfig]:
+    """The challenger population: one knob varied at a time around ``base``.
+
+    Unlike the offline sweep's full cross product, the online tuner keeps
+    the population small (Section 8's grid would be ~|l|x|c|x|w| live
+    simulations per window).  Candidates equal to ``base`` are dropped,
+    duplicates collapse, and order is deterministic: knobs in the order
+    given, values in their listed order.
+    """
+    validate_knob_candidates(base, candidates)
+    population: List[ProRPConfig] = []
+    seen = {base}
+    for knob in candidates:
+        for value in candidates[knob]:
+            config = base.with_overrides(**{knob: value})
+            if config in seen:
+                continue
+            seen.add(config)
+            population.append(config)
+    return population
+
+
+def default_candidates(base: ProRPConfig) -> Dict[str, Sequence[Any]]:
+    """A conservative default (l, c, w) population around ``base``.
+
+    Halved/doubled pause horizon, a tighter and a looser confidence
+    threshold, and a narrower/wider detection window -- six challengers,
+    all guaranteed valid for the given base config.
+    """
+    spread: Dict[str, Sequence[Any]] = {
+        "logical_pause_s": [
+            max(1, base.logical_pause_s // 2),
+            base.logical_pause_s * 2,
+        ],
+        "confidence": [
+            max(0.01, round(base.confidence / 2, 6)),
+            min(1.0, round(base.confidence * 3, 6)),
+        ],
+        "window_s": [
+            max(base.slide_s, base.window_s // 2),
+            min(base.horizon_s, base.window_s * 2),
+        ],
+    }
+    validate_knob_candidates(base, spread)
+    return spread

@@ -1,0 +1,283 @@
+"""The windowed online-tuning driver: live KPI feedback -> tuner decisions.
+
+Splits the evaluation horizon into aligned windows (a day by default).
+In every window each surviving candidate config is evaluated on the lean
+fleet engine, the scores feed :class:`OnlineKnobTuner.record_window`
+(journaled, hysteresis, halving, guarded baseline), and the *online*
+series -- the active config, routed through the
+:class:`~repro.tuning.bank.PredictorBank` when policies are enabled --
+accumulates alongside a *static* series that pins the paper's monthly-
+sweep behaviour: the baseline config, unchanged, window after window.
+
+Candidate evaluations fan out over :mod:`repro.parallel` executors; the
+per-window task is a module-level function over picklable inputs
+(fleet spec or slice, config, window bounds), so the multiprocess
+backend reproduces the serial scores byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import DEFAULT_CONFIG, ProRPConfig
+from repro.core.kpi import KpiReport
+from repro.errors import TuningError
+from repro.observability.runtime import OBS
+from repro.parallel import SweepExecutor, resolve_executor
+from repro.simulation.fleet import merge_kpi_reports, simulate_fleet
+from repro.simulation.region import SimulationSettings
+from repro.training.objective import Objective, qos_priority_objective
+from repro.tuning.bank import PredictorBank
+from repro.tuning.controller import (
+    OnlineKnobTuner,
+    TunerSettings,
+    TuningDecision,
+)
+from repro.types import SECONDS_PER_DAY
+from repro.workload.fleetgen import DriftSpec, FleetShardSpec, FleetSlice
+
+FleetInput = Union[FleetShardSpec, DriftSpec, FleetSlice]
+
+
+def _merge_window_kpis(reports: Sequence[KpiReport]) -> KpiReport:
+    """Concatenate per-window KPI reports of one fleet in time.
+
+    ``merge_kpi_reports`` merges *shards* of one window (and refuses
+    mismatched windows); here every report covers the same databases over
+    consecutive equal-length windows, so the counters still sum field-wise
+    and only the evaluation span stretches.  ``fleet_seconds`` (the
+    percentage denominator) comes out right because the windows tile the
+    span: n x (W * window_s).
+    """
+    head = reports[0]
+    span = head.eval_end - head.eval_start
+    aligned = [
+        dataclasses.replace(r, eval_start=head.eval_start, eval_end=head.eval_end)
+        for r in reports
+    ]
+    merged = merge_kpi_reports(aligned)
+    return dataclasses.replace(
+        merged,
+        n_databases=head.n_databases,
+        eval_start=head.eval_start,
+        eval_end=head.eval_start + span * len(reports),
+    )
+
+
+def _window_eval_task(context, item) -> KpiReport:
+    """Evaluate one (config, window) cell on the lean fleet engine.
+
+    Module-level so the multiprocess backend pickles it by reference;
+    the fleet spec in the context re-materialises deterministically in
+    every worker.
+    """
+    fleet, settings, online_warmup_s = context
+    config, eval_start, eval_end, bank = item
+    window_settings = dataclasses.replace(
+        settings,
+        eval_start=eval_start,
+        eval_end=eval_end,
+        predictor_bank=tuple(bank),
+        # Bank runs may warm up longer: the regret scorer needs a few
+        # observed logins before hysteresis lets a policy switch.
+        warmup_s=(
+            online_warmup_s
+            if bank and online_warmup_s is not None
+            else settings.warmup_s
+        ),
+    )
+    result = simulate_fleet(
+        fleet, "proactive", config=config, settings=window_settings
+    )
+    return result.kpis
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """One evaluated window: candidate scores and the tuner's reaction."""
+
+    window: int
+    eval_start: int
+    eval_end: int
+    #: (candidate index, objective score) for every alive candidate.
+    scores: Tuple[Tuple[int, float], ...]
+    decision: TuningDecision
+    online_score: float
+    static_score: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window": self.window,
+            "eval_start": self.eval_start,
+            "eval_end": self.eval_end,
+            "scores": [[i, s] for i, s in self.scores],
+            "decision": self.decision.to_dict(),
+            "online_score": self.online_score,
+            "static_score": self.static_score,
+        }
+
+
+@dataclass(frozen=True)
+class OnlineTuningReport:
+    """Cumulative outcome of an online-tuning run."""
+
+    candidates: Tuple[ProRPConfig, ...]
+    policies: Tuple[str, ...]
+    windows: Tuple[WindowOutcome, ...]
+    online_kpis: KpiReport
+    static_kpis: KpiReport
+    online_score: float
+    static_score: float
+
+    @property
+    def decisions(self) -> Tuple[TuningDecision, ...]:
+        return tuple(w.decision for w in self.windows)
+
+    @property
+    def promotions(self) -> int:
+        return sum(1 for w in self.windows if w.decision.promoted is not None)
+
+    @property
+    def demotions(self) -> int:
+        return sum(1 for w in self.windows if w.decision.demoted)
+
+    @property
+    def dominates_static(self) -> bool:
+        """The acceptance gate: online never loses to the static sweep."""
+        return self.online_score >= self.static_score
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidates": [c.to_dict() for c in self.candidates],
+            "policies": list(self.policies),
+            "windows": [w.to_dict() for w in self.windows],
+            "online_score": self.online_score,
+            "static_score": self.static_score,
+            "online_qos_percent": self.online_kpis.qos_percent,
+            "static_qos_percent": self.static_kpis.qos_percent,
+            "online_idle_percent": self.online_kpis.idle_percent,
+            "static_idle_percent": self.static_kpis.idle_percent,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "dominates_static": self.dominates_static,
+        }
+
+
+def run_online_tuning(
+    fleet: FleetInput,
+    baseline: ProRPConfig = DEFAULT_CONFIG,
+    challengers: Sequence[ProRPConfig] = (),
+    *,
+    n_windows: int,
+    window_s: int = SECONDS_PER_DAY,
+    settings: Optional[SimulationSettings] = None,
+    policies: Sequence[str] = (),
+    online_warmup_s: Optional[int] = None,
+    state_dir: Optional[Union[str, Path]] = None,
+    tuner: Optional[OnlineKnobTuner] = None,
+    tuner_settings: Optional[TunerSettings] = None,
+    objective: Optional[Objective] = None,
+    executor: Optional[SweepExecutor] = None,
+    workers: Optional[int] = None,
+) -> OnlineTuningReport:
+    """Drive the tuner + bank over ``n_windows`` aligned windows.
+
+    ``settings.eval_start`` anchors window 0; each window evaluates
+    ``[eval_start + w*window_s, eval_start + (w+1)*window_s)`` with the
+    template's warmup.  Pass a recovered ``tuner`` to resume after a
+    crash: windows it already journaled are skipped and the run
+    continues from ``tuner.expected_window`` (the report then covers the
+    resumed windows only).
+    """
+    if n_windows < 1:
+        raise TuningError(f"n_windows must be >= 1, got {n_windows}")
+    if window_s < 1:
+        raise TuningError(f"window_s must be >= 1, got {window_s}")
+    if tuner is None:
+        tuner = OnlineKnobTuner(
+            baseline, challengers, state_dir=state_dir, settings=tuner_settings
+        )
+    elif tuner.candidates != (baseline,) + tuple(challengers):
+        raise TuningError(
+            "the resumed tuner's candidate population does not match the "
+            "(baseline, challengers) this driver was given"
+        )
+    policies = tuple(policies)
+    if policies:
+        PredictorBank(policies, baseline)  # validate names eagerly
+    if settings is None:
+        settings = SimulationSettings(
+            eval_start=SECONDS_PER_DAY, eval_end=2 * SECONDS_PER_DAY
+        )
+    objective = objective or qos_priority_objective()
+    backend = resolve_executor(executor, workers)
+    t0 = settings.eval_start
+
+    windows: List[WindowOutcome] = []
+    online_kpis: List[KpiReport] = []
+    static_kpis: List[KpiReport] = []
+    first = tuner.expected_window
+    if first >= n_windows:
+        raise TuningError(
+            f"nothing to do: the tuner already recorded {first} windows "
+            f"and the run asks for {n_windows}"
+        )
+    for w in range(first, n_windows):
+        ws, we = t0 + w * window_s, t0 + (w + 1) * window_s
+        alive = tuner.alive_indices
+        active = tuner.active_index
+        items: List[Tuple[ProRPConfig, int, int, Tuple[str, ...]]] = [
+            (tuner.candidates[i], ws, we, ()) for i in alive
+        ]
+        # The online production series routes through the bank; without
+        # policies it *is* the active candidate's evaluation run.
+        online_item = None
+        if policies:
+            online_item = len(items)
+            items.append((tuner.candidates[active], ws, we, policies))
+        reports = backend.run(
+            _window_eval_task, (fleet, settings, online_warmup_s), items
+        )
+        scores = {i: objective(reports[k]) for k, i in enumerate(alive)}
+        online_report = (
+            reports[online_item]
+            if online_item is not None
+            else reports[list(alive).index(active)]
+        )
+        static_report = reports[list(alive).index(0)]
+        online_kpis.append(online_report)
+        static_kpis.append(static_report)
+        online_score = objective(online_report)
+        static_score = objective(static_report)
+        decision = tuner.record_window(scores, now=ws)
+        if OBS.enabled:
+            OBS.metrics.gauge("tuning.online_score").set(online_score)
+            OBS.metrics.gauge("tuning.static_score").set(static_score)
+        windows.append(
+            WindowOutcome(
+                window=w,
+                eval_start=ws,
+                eval_end=we,
+                scores=tuple(sorted(scores.items())),
+                decision=decision,
+                online_score=online_score,
+                static_score=static_score,
+            )
+        )
+    if state_dir is not None or tuner._state_dir is not None:
+        tuner.checkpoint()
+
+    merged_online = _merge_window_kpis(online_kpis)
+    merged_static = _merge_window_kpis(static_kpis)
+    return OnlineTuningReport(
+        candidates=tuner.candidates,
+        policies=policies,
+        windows=tuple(windows),
+        online_kpis=merged_online,
+        static_kpis=merged_static,
+        online_score=objective(merged_online),
+        static_score=objective(merged_static),
+    )

@@ -21,7 +21,7 @@ must use the same shard boundaries (``simulate_fleet_sharded`` does).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -203,3 +203,157 @@ class FleetShardSpec:
             starts=flat_starts.astype(np.int64),
             ends=flat_ends.astype(np.int64),
         )
+
+
+# ---------------------------------------------------------------------------
+# Concept-drift wrappers (online-tuning scenarios)
+# ---------------------------------------------------------------------------
+
+#: Drift kinds the online-tuning scenarios exercise.
+DRIFT_KINDS = ("archetype_switch", "dst_shift", "migration")
+
+
+def _flatten(fleet: FleetSlice) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-session (database index, start, end) arrays of a slice."""
+    counts = np.diff(fleet.sess_offsets)
+    d_idx = np.repeat(np.arange(fleet.n, dtype=np.int64), counts)
+    return d_idx, fleet.starts.copy(), fleet.ends.copy()
+
+
+def _rebuild(
+    fleet: FleetSlice,
+    d_idx: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    created_at: Optional[np.ndarray] = None,
+) -> FleetSlice:
+    """Re-pack flat per-session arrays into a valid :class:`FleetSlice`.
+
+    Sorts per database by start, truncates any overlap into the next
+    session, and drops sessions emptied by the truncation -- so every
+    drift transform yields sorted, non-overlapping sessions by
+    construction, whatever it did to the raw timestamps.
+    """
+    order = np.lexsort((starts, d_idx))
+    d, s, e = d_idx[order], starts[order], ends[order]
+    e = np.maximum(e, s + 1)
+    same_db_next = np.concatenate((d[1:] == d[:-1], [False]))
+    next_start = np.concatenate((s[1:], np.asarray([np.iinfo(np.int64).max])))
+    e = np.where(same_db_next, np.minimum(e, next_start), e)
+    keep = (e > s) & (s >= 0)
+    d, s, e = d[keep], s[keep], e[keep]
+    counts = np.bincount(d, minlength=fleet.n)
+    offsets = np.zeros(fleet.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return FleetSlice(
+        ids=fleet.ids,
+        created_at=(
+            created_at if created_at is not None else fleet.created_at
+        ),
+        sess_offsets=offsets,
+        starts=s.astype(np.int64),
+        ends=e.astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """A fleet whose activity pattern changes mid-trace.
+
+    Wraps a :class:`FleetShardSpec` with one of three concept drifts the
+    static monthly knob sweep cannot track:
+
+    - ``archetype_switch``: at ``at_day`` every database jumps to an
+      independently drawn archetype/phase (a re-purposed fleet);
+    - ``dst_shift``: sessions from ``at_day`` onward move by
+      ``shift_minutes`` (daylight-saving or holiday schedule change);
+    - ``migration``: a deterministic ``fraction`` of databases moves by
+      ``shift_minutes`` from ``at_day`` onward (a region-mix change --
+      tenants migrating in from another timezone).
+
+    Pure and picklable exactly like :class:`FleetShardSpec`:
+    ``materialize(lo, hi)`` depends only on ``(self, lo, hi)``, so the
+    sharded fleet path regenerates drifted shards in workers unchanged.
+    """
+
+    base: FleetShardSpec
+    kind: str
+    #: Day (0-based, inside the span) the drift takes effect.
+    at_day: int
+    #: Schedule shift for ``dst_shift``/``migration`` (may be negative).
+    shift_minutes: int = 60
+    #: Seed offset of the post-switch fleet for ``archetype_switch``.
+    switch_seed_offset: int = 1
+    #: Fraction of databases that move for ``migration``.
+    fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise TraceError(
+                f"unknown drift kind {self.kind!r} (choose from "
+                f"{', '.join(DRIFT_KINDS)})"
+            )
+        if not 0 < self.at_day < self.base.span_days:
+            raise TraceError(
+                f"at_day must fall inside the span (0, {self.base.span_days}), "
+                f"got {self.at_day}"
+            )
+        if self.kind in ("dst_shift", "migration") and self.shift_minutes == 0:
+            raise TraceError(f"{self.kind} needs a non-zero shift_minutes")
+        if self.kind == "migration" and not 0.0 < self.fraction <= 1.0:
+            raise TraceError(
+                f"migration fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.kind == "archetype_switch" and self.switch_seed_offset == 0:
+            raise TraceError(
+                "archetype_switch needs a non-zero switch_seed_offset "
+                "(offset 0 reproduces the base fleet: no drift)"
+            )
+
+    @property
+    def n_databases(self) -> int:
+        return self.base.n_databases
+
+    @property
+    def span_days(self) -> int:
+        return self.base.span_days
+
+    def materialize(self, lo: int = 0, hi: Optional[int] = None) -> FleetSlice:
+        """Generate databases ``[lo, hi)`` of the drifted fleet."""
+        if hi is None:
+            hi = self.base.n_databases
+        fleet = self.base.materialize(lo, hi)
+        t = self.at_day * SECONDS_PER_DAY
+        if self.kind == "archetype_switch":
+            alt = replace(
+                self.base, seed=self.base.seed + self.switch_seed_offset
+            ).materialize(lo, hi)
+            return self._splice(fleet, alt, t)
+        d_idx, starts, ends = _flatten(fleet)
+        shift_s = self.shift_minutes * _MINUTE
+        if self.kind == "dst_shift":
+            moved = starts >= t
+        else:  # migration: a deterministic subset of databases moves
+            rng = np.random.default_rng([self.base.seed, 7919, lo, hi])
+            moved_db = rng.random(fleet.n) < self.fraction
+            moved = moved_db[d_idx] & (starts >= t)
+        starts = np.where(moved, starts + shift_s, starts)
+        ends = np.where(moved, ends + shift_s, ends)
+        return _rebuild(fleet, d_idx, starts, ends)
+
+    @staticmethod
+    def _splice(a: FleetSlice, b: FleetSlice, t: int) -> FleetSlice:
+        """Pre-``t`` sessions of ``a`` followed by post-``t`` sessions of
+        ``b``; a session of ``a`` straddling ``t`` is truncated at the
+        switch instant."""
+        da, sa, ea = _flatten(a)
+        db, sb, eb = _flatten(b)
+        keep_a = sa < t
+        ea = np.minimum(ea, t)
+        keep_b = sb >= t
+        d_idx = np.concatenate((da[keep_a], db[keep_b]))
+        starts = np.concatenate((sa[keep_a], sb[keep_b]))
+        ends = np.concatenate((ea[keep_a], eb[keep_b]))
+        created_at = np.minimum(a.created_at, b.created_at)
+        return _rebuild(a, d_idx, starts, ends, created_at=created_at)
+

@@ -49,11 +49,15 @@ class TestKnobSelection:
         )
         assert knobs == ["confidence"]
 
-    def test_invalid_values_pruned(self, pipeline):
-        impacts = rank_knobs(
-            pipeline, ProRPConfig(), {"confidence": [0.1, -1.0]}
-        )
-        assert len(impacts[0].results) == 1
+    def test_invalid_value_rejected_up_front(self, pipeline):
+        """An invalid probe value is a configuration error, not a silent
+        shrink of the sweep (shared validation with the online tuner)."""
+        with pytest.raises(ConfigError, match="invalid candidate"):
+            rank_knobs(pipeline, ProRPConfig(), {"confidence": [0.1, -1.0]})
+
+    def test_unknown_knob_rejected(self, pipeline):
+        with pytest.raises(ConfigError, match="unknown knob"):
+            rank_knobs(pipeline, ProRPConfig(), {"confidnce": [0.1]})
 
     def test_all_invalid_rejected(self, pipeline):
         with pytest.raises(ConfigError):
